@@ -1,0 +1,167 @@
+//! `simulate` — run one configuration from the command line.
+//!
+//! ```text
+//! simulate --org raid5 --n 10 --cache 16
+//! simulate --org parstrip --placement end --trace trace1 --scale 0.05
+//! simulate --org mirror --speed 2 --sync si
+//! simulate --org raid5 --failed 0:3           # degraded mode
+//! simulate --org base --trace-file ops.trace  # replay a captured trace
+//! ```
+//!
+//! Prints the report summary plus the per-disk utilization/access table.
+
+use raidsim::{
+    CacheConfig, Organization, ParityPlacement, SimConfig, Simulator, SyncPolicy,
+};
+use tracegen::{fmt, transform, SynthSpec, Trace};
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            Some(v) => v.parse().unwrap_or_else(|_| die(&format!("bad value for {name}: {v}"))),
+            None => default,
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: simulate --org <base|mirror|raid5|raid4|parstrip> [--n N] [--su BLOCKS]\n\
+         \t[--placement middle|end|rotated] [--band BLOCKS] [--sync si|rf|rfpr|df|dfpr]\n\
+         \t[--cache MB] [--destage MS] [--failed ARRAY:DISK]\n\
+         \t[--trace trace1|trace2] [--trace-file PATH] [--scale F] [--speed F] [--seed N]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args = Args(std::env::args().skip(1).collect());
+    if args.flag("--help") || args.flag("-h") {
+        die("help requested");
+    }
+
+    // --- organization ---------------------------------------------------
+    let su: u32 = args.parse("--su", 1);
+    let placement = match args.get("--placement").unwrap_or("middle") {
+        "middle" => ParityPlacement::Middle,
+        "end" => ParityPlacement::End,
+        "rotated" => ParityPlacement::MiddleRotated {
+            band_blocks: args.parse("--band", 256),
+        },
+        other => die(&format!("unknown placement {other}")),
+    };
+    let org = match args.get("--org").unwrap_or_else(|| die("--org is required")) {
+        "base" => Organization::Base,
+        "mirror" => Organization::Mirror,
+        "raid5" => Organization::Raid5 { striping_unit: su },
+        "raid4" => Organization::Raid4 { striping_unit: su },
+        "parstrip" => Organization::ParityStriping { placement },
+        other => die(&format!("unknown organization {other}")),
+    };
+
+    // --- config ----------------------------------------------------------
+    let mut cfg = SimConfig::with_organization(org);
+    cfg.data_disks_per_array = args.parse("--n", 10);
+    cfg.sync = match args.get("--sync").unwrap_or("df") {
+        "si" => SyncPolicy::SimultaneousIssue,
+        "rf" => SyncPolicy::ReadFirst,
+        "rfpr" => SyncPolicy::ReadFirstPriority,
+        "df" => SyncPolicy::DiskFirst,
+        "dfpr" => SyncPolicy::DiskFirstPriority,
+        other => die(&format!("unknown sync policy {other}")),
+    };
+    if let Some(mb) = args.get("--cache") {
+        cfg.cache = Some(CacheConfig {
+            size_mb: mb.parse().unwrap_or_else(|_| die("bad --cache")),
+            destage_period_ms: args.parse("--destage", 1_000),
+        });
+    }
+    cfg.seed = args.parse("--seed", cfg.seed);
+    if let Some(f) = args.get("--failed") {
+        let (a, d) = f
+            .split_once(':')
+            .unwrap_or_else(|| die("--failed wants ARRAY:DISK"));
+        cfg.failed_disk = Some((
+            a.parse().unwrap_or_else(|_| die("bad --failed array")),
+            d.parse().unwrap_or_else(|_| die("bad --failed disk")),
+        ));
+    }
+    if let Err(e) = cfg.validate() {
+        die(&e);
+    }
+
+    // --- workload ----------------------------------------------------------
+    let scale: f64 = args.parse("--scale", 0.1);
+    let speed: f64 = args.parse("--speed", 1.0);
+    let trace: Trace = if let Some(path) = args.get("--trace-file") {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        fmt::parse_trace(&text).unwrap_or_else(|e| die(&e.to_string()))
+    } else {
+        let spec = match args.get("--trace").unwrap_or("trace2") {
+            "trace1" => SynthSpec::trace1().scaled(scale),
+            "trace2" => SynthSpec::trace2().scaled(scale.clamp(f64::MIN_POSITIVE, 1.0)),
+            other => die(&format!("unknown trace {other}")),
+        };
+        spec.generate()
+    };
+    let trace = if (speed - 1.0).abs() > 1e-9 {
+        transform::at_speed(&trace, speed)
+    } else {
+        trace
+    };
+
+    eprintln!(
+        "{} on {} requests ({} logical disks, {} arrays, {} physical disks)…",
+        org.label(),
+        trace.len(),
+        trace.n_disks,
+        cfg.arrays_for(trace.n_disks),
+        cfg.total_disks(trace.n_disks),
+    );
+    let t0 = std::time::Instant::now();
+    let report = Simulator::new(cfg, &trace).run();
+    eprintln!("simulated in {:.2?}\n", t0.elapsed());
+
+    println!("{}", report.summary());
+    println!(
+        "p50 {:.1} ms | p95 {:.1} ms | p99 {:.1} ms | channel util {:.1}%",
+        report.quantile_ms(0.5),
+        report.quantile_ms(0.95),
+        report.quantile_ms(0.99),
+        report.channel_utilization.iter().sum::<f64>()
+            / report.channel_utilization.len().max(1) as f64
+            * 100.0,
+    );
+    if let Some(cache) = &report.cache {
+        println!(
+            "cache: read hit {:.1}% | write hit {:.1}% | dirty evictions {} | spool peak {}",
+            report.read_hit_ratio() * 100.0,
+            report.write_hit_ratio() * 100.0,
+            cache.dirty_evictions,
+            report.spool_peak,
+        );
+    }
+    println!(
+        "disk accesses: total {} | per-disk CV {:.3} | peak/mean {:.2} | max util {:.1}%",
+        report.disk_ops,
+        report.per_disk_accesses.coefficient_of_variation(),
+        report.per_disk_accesses.peak_to_mean(),
+        report.max_disk_utilization() * 100.0,
+    );
+}

@@ -1,0 +1,198 @@
+//! Static disk geometry and derived timing constants.
+
+use serde::{Deserialize, Serialize};
+use simkit::time::NS_PER_SEC;
+
+/// Physical block number on one disk, in units of the logical block size
+/// (4 KB by default), counted from cylinder 0 outward.
+pub type BlockNo = u64;
+
+/// Cylinder index, 0-based from the outermost cylinder.
+pub type Cylinder = u32;
+
+/// Geometry of one drive plus the logical block size used by the I/O
+/// subsystem, with all derived timing constants precomputed in nanoseconds.
+///
+/// Defaults reproduce Table 1 of the paper:
+/// 5400 rpm, 11.2 ms average / 28 ms maximal seek, 1260 tracks per surface,
+/// 48 sectors of 512 bytes per track, 15 platters (30 surfaces), 4 KB blocks.
+/// Total capacity: 1260 × 30 × 48 × 512 B ≈ 0.93 GB, the paper's "about
+/// 0.9 GByte" per disk.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskGeometry {
+    /// Spindle speed in revolutions per minute.
+    pub rpm: u32,
+    /// Cylinders per surface ("tracks per platter" in Table 1).
+    pub cylinders: u32,
+    /// Sectors per track.
+    pub sectors_per_track: u32,
+    /// Bytes per sector.
+    pub bytes_per_sector: u32,
+    /// Recording surfaces (two per platter).
+    pub surfaces: u32,
+    /// Logical block size in bytes (the unit of all I/O requests).
+    pub block_bytes: u32,
+}
+
+impl Default for DiskGeometry {
+    fn default() -> Self {
+        DiskGeometry {
+            rpm: 5400,
+            cylinders: 1260,
+            sectors_per_track: 48,
+            bytes_per_sector: 512,
+            surfaces: 30,
+            block_bytes: 4096,
+        }
+    }
+}
+
+impl DiskGeometry {
+    /// One full revolution, in nanoseconds (11.11 ms at 5400 rpm).
+    #[inline]
+    pub fn rotation_ns(&self) -> u64 {
+        60 * NS_PER_SEC / self.rpm as u64
+    }
+
+    /// Sectors occupied by one logical block.
+    #[inline]
+    pub fn sectors_per_block(&self) -> u32 {
+        debug_assert_eq!(self.block_bytes % self.bytes_per_sector, 0);
+        self.block_bytes / self.bytes_per_sector
+    }
+
+    /// Logical blocks per track.
+    #[inline]
+    pub fn blocks_per_track(&self) -> u32 {
+        self.sectors_per_track / self.sectors_per_block()
+    }
+
+    /// Logical blocks per cylinder (across all surfaces).
+    #[inline]
+    pub fn blocks_per_cylinder(&self) -> u64 {
+        self.blocks_per_track() as u64 * self.surfaces as u64
+    }
+
+    /// Total logical blocks on the disk.
+    #[inline]
+    pub fn blocks_per_disk(&self) -> u64 {
+        self.blocks_per_cylinder() * self.cylinders as u64
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.blocks_per_disk() * self.block_bytes as u64
+    }
+
+    /// Media transfer time for one logical block: the fraction of a
+    /// revolution its sectors occupy (1.85 ms for 8 of 48 sectors at
+    /// 5400 rpm).
+    #[inline]
+    pub fn block_transfer_ns(&self) -> u64 {
+        self.rotation_ns() * self.sectors_per_block() as u64 / self.sectors_per_track as u64
+    }
+
+    /// Cylinder holding a physical block.
+    #[inline]
+    pub fn cylinder_of(&self, block: BlockNo) -> Cylinder {
+        debug_assert!(block < self.blocks_per_disk());
+        (block / self.blocks_per_cylinder()) as Cylinder
+    }
+
+    /// Angular position of the first sector of a block, as a sector index
+    /// within the track (0 ≤ result < `sectors_per_track`).
+    ///
+    /// Blocks are laid out serially around each track; surfaces within a
+    /// cylinder share the same angular origin.
+    #[inline]
+    pub fn start_sector_of(&self, block: BlockNo) -> u32 {
+        let in_cyl = (block % self.blocks_per_cylinder()) as u32;
+        (in_cyl % self.blocks_per_track()) * self.sectors_per_block()
+    }
+
+    /// Time for the platter to rotate by `sectors` sector positions.
+    #[inline]
+    pub fn sectors_to_ns(&self, sectors: u64) -> u64 {
+        self.rotation_ns() * sectors / self.sectors_per_track as u64
+    }
+
+    /// Sanity-check invariants a hand-built geometry must satisfy.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rpm == 0 || self.cylinders == 0 || self.surfaces == 0 {
+            return Err("rpm, cylinders and surfaces must be nonzero".into());
+        }
+        if !self.block_bytes.is_multiple_of(self.bytes_per_sector) {
+            return Err("block size must be a whole number of sectors".into());
+        }
+        if !self.sectors_per_track.is_multiple_of(self.sectors_per_block()) {
+            return Err("a track must hold a whole number of blocks".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_derived_constants() {
+        let g = DiskGeometry::default();
+        g.validate().unwrap();
+        // 60s / 5400rpm = 11.111… ms per revolution.
+        assert_eq!(g.rotation_ns(), 11_111_111);
+        assert_eq!(g.sectors_per_block(), 8);
+        assert_eq!(g.blocks_per_track(), 6);
+        assert_eq!(g.blocks_per_cylinder(), 180);
+        assert_eq!(g.blocks_per_disk(), 226_800);
+        // ≈ 0.93 GB, the paper's "about 0.9 GByte".
+        assert_eq!(g.capacity_bytes(), 928_972_800);
+        // 8/48 of a revolution ≈ 1.85 ms.
+        assert_eq!(g.block_transfer_ns(), 1_851_851);
+    }
+
+    #[test]
+    fn block_to_cylinder_mapping() {
+        let g = DiskGeometry::default();
+        assert_eq!(g.cylinder_of(0), 0);
+        assert_eq!(g.cylinder_of(179), 0);
+        assert_eq!(g.cylinder_of(180), 1);
+        assert_eq!(g.cylinder_of(226_799), 1259);
+    }
+
+    #[test]
+    fn start_sector_wraps_per_track() {
+        let g = DiskGeometry::default();
+        assert_eq!(g.start_sector_of(0), 0);
+        assert_eq!(g.start_sector_of(1), 8);
+        assert_eq!(g.start_sector_of(5), 40);
+        // Next track on the next surface restarts at sector 0.
+        assert_eq!(g.start_sector_of(6), 0);
+        // Next cylinder likewise.
+        assert_eq!(g.start_sector_of(180), 0);
+    }
+
+    #[test]
+    fn sectors_to_ns_full_revolution() {
+        let g = DiskGeometry::default();
+        assert_eq!(g.sectors_to_ns(48), g.rotation_ns());
+        assert_eq!(g.sectors_to_ns(0), 0);
+        assert_eq!(g.sectors_to_ns(24), g.rotation_ns() / 2);
+    }
+
+    #[test]
+    fn validate_rejects_broken_geometry() {
+        let mut g = DiskGeometry {
+            block_bytes: 1000,
+            ..DiskGeometry::default()
+        };
+        assert!(g.validate().is_err());
+        g.block_bytes = 4096;
+        g.sectors_per_track = 20; // 20 % 8 != 0
+        assert!(g.validate().is_err());
+        g.sectors_per_track = 48;
+        g.rpm = 0;
+        assert!(g.validate().is_err());
+    }
+}

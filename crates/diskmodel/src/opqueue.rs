@@ -1,0 +1,165 @@
+//! Pending-operation queue for one drive.
+//!
+//! Three service bands, FIFO within each:
+//!
+//! * [`Band::Priority`] — parity accesses under the RF/PR and DF/PR
+//!   synchronization policies ("gives the parity access higher priority than
+//!   non-parity accesses queued at the same disk", Section 3.3).
+//! * [`Band::Normal`] — host reads/writes and ordinary parity accesses.
+//! * [`Band::Background`] — destage and parity-spool writes, "scheduled
+//!   progressively so that they will cause minimal interference with the
+//!   read traffic" (Section 3.4): they are only dispatched when no
+//!   foreground work is queued.
+
+use std::collections::VecDeque;
+
+/// Service band of a queued operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Band {
+    Priority,
+    Normal,
+    Background,
+}
+
+/// Three-band FIFO queue.
+#[derive(Clone, Debug)]
+pub struct OpQueue<T> {
+    priority: VecDeque<T>,
+    normal: VecDeque<T>,
+    background: VecDeque<T>,
+}
+
+impl<T> Default for OpQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> OpQueue<T> {
+    pub fn new() -> Self {
+        OpQueue {
+            priority: VecDeque::new(),
+            normal: VecDeque::new(),
+            background: VecDeque::new(),
+        }
+    }
+
+    /// Enqueue at the tail of a band.
+    pub fn push(&mut self, band: Band, item: T) {
+        self.deque_mut(band).push_back(item);
+    }
+
+    /// Enqueue at the head of a band (used to put back an operation that
+    /// could not be dispatched, e.g. a write waiting for a free buffer).
+    pub fn push_front(&mut self, band: Band, item: T) {
+        self.deque_mut(band).push_front(item);
+    }
+
+    /// Dequeue the next operation: priority, then normal, then background.
+    pub fn pop(&mut self) -> Option<(Band, T)> {
+        if let Some(x) = self.priority.pop_front() {
+            return Some((Band::Priority, x));
+        }
+        if let Some(x) = self.normal.pop_front() {
+            return Some((Band::Normal, x));
+        }
+        self.background.pop_front().map(|x| (Band::Background, x))
+    }
+
+    /// Dequeue only foreground work (priority or normal).
+    pub fn pop_foreground(&mut self) -> Option<(Band, T)> {
+        if let Some(x) = self.priority.pop_front() {
+            return Some((Band::Priority, x));
+        }
+        self.normal.pop_front().map(|x| (Band::Normal, x))
+    }
+
+    /// Next operation without removing it.
+    pub fn peek(&self) -> Option<(Band, &T)> {
+        if let Some(x) = self.priority.front() {
+            return Some((Band::Priority, x));
+        }
+        if let Some(x) = self.normal.front() {
+            return Some((Band::Normal, x));
+        }
+        self.background.front().map(|x| (Band::Background, x))
+    }
+
+    pub fn len(&self) -> usize {
+        self.priority.len() + self.normal.len() + self.background.len()
+    }
+
+    pub fn foreground_len(&self) -> usize {
+        self.priority.len() + self.normal.len()
+    }
+
+    pub fn background_len(&self) -> usize {
+        self.background.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn deque_mut(&mut self, band: Band) -> &mut VecDeque<T> {
+        match band {
+            Band::Priority => &mut self.priority,
+            Band::Normal => &mut self.normal,
+            Band::Background => &mut self.background,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_drain_in_order() {
+        let mut q = OpQueue::new();
+        q.push(Band::Background, "bg");
+        q.push(Band::Normal, "n1");
+        q.push(Band::Priority, "p1");
+        q.push(Band::Normal, "n2");
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop(), Some((Band::Priority, "p1")));
+        assert_eq!(q.pop(), Some((Band::Normal, "n1")));
+        assert_eq!(q.pop(), Some((Band::Normal, "n2")));
+        assert_eq!(q.pop(), Some((Band::Background, "bg")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_foreground_skips_background() {
+        let mut q = OpQueue::new();
+        q.push(Band::Background, "bg");
+        assert_eq!(q.pop_foreground(), None);
+        assert_eq!(q.background_len(), 1);
+        q.push(Band::Normal, "n");
+        assert_eq!(q.pop_foreground(), Some((Band::Normal, "n")));
+        assert_eq!(q.foreground_len(), 0);
+    }
+
+    #[test]
+    fn push_front_reinserts_at_head() {
+        let mut q = OpQueue::new();
+        q.push(Band::Normal, 1);
+        q.push(Band::Normal, 2);
+        let (b, x) = q.pop().unwrap();
+        q.push_front(b, x);
+        assert_eq!(q.pop(), Some((Band::Normal, 1)));
+        assert_eq!(q.pop(), Some((Band::Normal, 2)));
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = OpQueue::new();
+        assert!(q.peek().is_none());
+        q.push(Band::Normal, 7);
+        q.push(Band::Priority, 9);
+        assert_eq!(q.peek(), Some((Band::Priority, &9)));
+        assert_eq!(q.pop(), Some((Band::Priority, 9)));
+        assert_eq!(q.peek(), Some((Band::Normal, &7)));
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! Track-buffer occupancy accounting.
+
+/// Counting pool of controller track buffers (five per attached disk,
+/// Section 3.4).
+///
+/// The pool itself is passive: the simulator calls [`BufferPool::try_acquire`]
+/// when admitting an operation that needs staging space and [`release`] when
+/// the operation's data has fully drained; operations that find the pool
+/// exhausted wait in the controller's admission queue.
+///
+/// [`release`]: BufferPool::release
+#[derive(Clone, Debug)]
+pub struct BufferPool {
+    capacity: u32,
+    in_use: u32,
+    peak: u32,
+    acquisitions: u64,
+    exhaustions: u64,
+}
+
+impl BufferPool {
+    pub fn new(capacity: u32) -> BufferPool {
+        BufferPool {
+            capacity,
+            in_use: 0,
+            peak: 0,
+            acquisitions: 0,
+            exhaustions: 0,
+        }
+    }
+
+    /// Conventional sizing: five track buffers per disk in the array.
+    pub fn per_disk(disks: u32) -> BufferPool {
+        BufferPool::new(5 * disks)
+    }
+
+    /// Acquire `n` buffers if available. All-or-nothing.
+    pub fn try_acquire(&mut self, n: u32) -> bool {
+        if self.in_use + n <= self.capacity {
+            self.in_use += n;
+            self.peak = self.peak.max(self.in_use);
+            self.acquisitions += n as u64;
+            true
+        } else {
+            self.exhaustions += 1;
+            false
+        }
+    }
+
+    /// Return `n` buffers to the pool.
+    pub fn release(&mut self, n: u32) {
+        debug_assert!(n <= self.in_use, "releasing more buffers than held");
+        self.in_use -= n.min(self.in_use);
+    }
+
+    #[inline]
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    #[inline]
+    pub fn in_use(&self) -> u32 {
+        self.in_use
+    }
+
+    #[inline]
+    pub fn available(&self) -> u32 {
+        self.capacity - self.in_use
+    }
+
+    /// High-water mark of concurrent occupancy.
+    #[inline]
+    pub fn peak(&self) -> u32 {
+        self.peak
+    }
+
+    /// Number of failed all-or-nothing acquisitions (admission stalls).
+    #[inline]
+    pub fn exhaustions(&self) -> u64 {
+        self.exhaustions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizing_five_per_disk() {
+        assert_eq!(BufferPool::per_disk(11).capacity(), 55);
+    }
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut p = BufferPool::new(3);
+        assert!(p.try_acquire(2));
+        assert_eq!(p.in_use(), 2);
+        assert_eq!(p.available(), 1);
+        assert!(p.try_acquire(1));
+        assert!(!p.try_acquire(1), "pool exhausted");
+        assert_eq!(p.exhaustions(), 1);
+        p.release(3);
+        assert_eq!(p.in_use(), 0);
+        assert!(p.try_acquire(3));
+    }
+
+    #[test]
+    fn all_or_nothing_acquisition() {
+        let mut p = BufferPool::new(4);
+        assert!(p.try_acquire(3));
+        assert!(!p.try_acquire(2), "partial grants are not allowed");
+        assert_eq!(p.in_use(), 3, "failed acquire leaves occupancy unchanged");
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut p = BufferPool::new(10);
+        p.try_acquire(4);
+        p.release(2);
+        p.try_acquire(1);
+        assert_eq!(p.peak(), 4);
+        p.try_acquire(7);
+        assert_eq!(p.peak(), 10);
+    }
+}

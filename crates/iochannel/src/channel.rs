@@ -1,0 +1,149 @@
+//! FIFO transfer server for the array↔host channel.
+
+use simkit::SimTime;
+
+/// A granted channel transfer: waits until the channel frees, then occupies
+/// it for the transfer duration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transfer {
+    /// When the bytes start moving (≥ request time).
+    pub start: SimTime,
+    /// When the last byte lands.
+    pub end: SimTime,
+}
+
+impl Transfer {
+    /// Queueing delay experienced at the channel, ns.
+    #[inline]
+    pub fn wait_ns(&self, requested: SimTime) -> u64 {
+        self.start.saturating_since(requested)
+    }
+}
+
+/// One channel connecting an array's controller to the host.
+///
+/// Transfers are granted strictly in request order (FIFO), which is how the
+/// simulator calls it: requests are made in event order, and the channel's
+/// `busy_until` horizon serializes them.
+#[derive(Clone, Debug)]
+pub struct Channel {
+    bytes_per_sec: u64,
+    busy_until: SimTime,
+    busy_ns: u64,
+    bytes_moved: u64,
+    transfers: u64,
+}
+
+impl Channel {
+    /// `bytes_per_sec` — e.g. 10 MB/s = 10_000_000.
+    pub fn new(bytes_per_sec: u64) -> Channel {
+        assert!(bytes_per_sec > 0);
+        Channel {
+            bytes_per_sec,
+            busy_until: SimTime::ZERO,
+            busy_ns: 0,
+            bytes_moved: 0,
+            transfers: 0,
+        }
+    }
+
+    /// Transfer duration for `bytes`, ns (rounded up so a transfer is never
+    /// free).
+    #[inline]
+    pub fn transfer_ns(&self, bytes: u64) -> u64 {
+        (bytes * 1_000_000_000).div_ceil(self.bytes_per_sec)
+    }
+
+    /// Request a transfer of `bytes` whose data is available at `ready`.
+    /// Returns the granted slot and advances the busy horizon.
+    pub fn request(&mut self, ready: SimTime, bytes: u64) -> Transfer {
+        let start = ready.max(self.busy_until);
+        let dur = self.transfer_ns(bytes);
+        let end = start + dur;
+        self.busy_until = end;
+        self.busy_ns += dur;
+        self.bytes_moved += bytes;
+        self.transfers += 1;
+        Transfer { start, end }
+    }
+
+    #[inline]
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    #[inline]
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns
+    }
+
+    #[inline]
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    #[inline]
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Utilization over an observation window of `elapsed_ns`.
+    pub fn utilization(&self, elapsed_ns: u64) -> f64 {
+        if elapsed_ns == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / elapsed_ns as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_transfer_time_at_10mbs() {
+        let ch = Channel::new(10_000_000);
+        // 4 KB over 10 MB/s = 409.6 µs.
+        assert_eq!(ch.transfer_ns(4096), 409_600);
+        assert_eq!(ch.transfer_ns(0), 0);
+    }
+
+    #[test]
+    fn transfer_rounds_up_never_free() {
+        let ch = Channel::new(3_000_000_000); // 3 GB/s
+        assert_eq!(ch.transfer_ns(1), 1);
+    }
+
+    #[test]
+    fn idle_channel_starts_immediately() {
+        let mut ch = Channel::new(10_000_000);
+        let t = ch.request(SimTime::from_ms(5), 4096);
+        assert_eq!(t.start, SimTime::from_ms(5));
+        assert_eq!(t.end, SimTime::from_ms(5) + 409_600);
+        assert_eq!(t.wait_ns(SimTime::from_ms(5)), 0);
+    }
+
+    #[test]
+    fn busy_channel_serializes_fifo() {
+        let mut ch = Channel::new(10_000_000);
+        let a = ch.request(SimTime::ZERO, 4096);
+        let b = ch.request(SimTime::ZERO, 4096);
+        assert_eq!(b.start, a.end);
+        assert_eq!(b.wait_ns(SimTime::ZERO), 409_600);
+        assert_eq!(ch.transfers(), 2);
+        assert_eq!(ch.bytes_moved(), 8192);
+        assert_eq!(ch.busy_ns(), 819_200);
+    }
+
+    #[test]
+    fn gap_between_transfers_leaves_channel_idle() {
+        let mut ch = Channel::new(10_000_000);
+        ch.request(SimTime::ZERO, 4096);
+        let b = ch.request(SimTime::from_ms(10), 4096);
+        assert_eq!(b.start, SimTime::from_ms(10));
+        // Busy time only counts transfer durations, not the idle gap.
+        assert_eq!(ch.busy_ns(), 819_200);
+        assert!((ch.utilization(b.end.as_ns()) - 819_200.0 / 10_409_600.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,16 @@
+//! # iochannel — array↔host channel and track-buffer pool
+//!
+//! Each array has one controller and an independent channel to the host
+//! (Section 3.2; 10 MB/s in Table 1). The channel is modeled as a FIFO
+//! server: transfers are serialized in request order and take
+//! `bytes / rate`. Track buffers in the controller (five per disk,
+//! Section 3.4) decouple the disk surface from the channel, so a read never
+//! waits an extra rotation because the channel is busy, and a write's data
+//! is staged before the disk needs it; [`BufferPool`] accounts occupancy and
+//! lets the simulator queue admissions when every buffer is held.
+
+pub mod buffer;
+pub mod channel;
+
+pub use buffer::BufferPool;
+pub use channel::{Channel, Transfer};

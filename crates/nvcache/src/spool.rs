@@ -1,0 +1,233 @@
+//! RAID4 parity-update spool (Section 3.4, "Parity Caching").
+//!
+//! Parity updates are buffered in the controller cache instead of being
+//! written through to the dedicated parity disk. Entries are kept sorted by
+//! target block ("sorted by cylinder number") and drained with a SCAN
+//! (elevator) sweep when the parity disk is free. Each entry records whether
+//! it holds *full* parity — a full-stripe write computed the parity outright,
+//! so it can be written without reading the old parity — or an XOR *delta*
+//! (`old data ⊕ new data`), in which case "the old parity must be read to
+//! compute the new parity" at spool-drain time.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One buffered parity update for a single parity block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpoolEntry {
+    /// Full parity (write without pre-read) vs delta (RMW at the parity
+    /// disk).
+    pub full: bool,
+}
+
+/// A run of consecutive spooled parity blocks drained as one disk op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpoolRun {
+    pub block: u64,
+    pub nblocks: u32,
+    pub full: bool,
+}
+
+/// Sorted buffer of pending parity-disk updates with an elevator cursor.
+#[derive(Clone, Debug, Default)]
+pub struct ParitySpool {
+    entries: BTreeMap<u64, SpoolEntry>,
+    cursor: u64,
+    upward: bool,
+    merges: u64,
+    inserts: u64,
+    peak: usize,
+}
+
+impl ParitySpool {
+    pub fn new() -> ParitySpool {
+        ParitySpool {
+            entries: BTreeMap::new(),
+            cursor: 0,
+            upward: true,
+            merges: 0,
+            inserts: 0,
+            peak: 0,
+        }
+    }
+
+    /// Buffer a parity update. Returns `true` if a new cache slot was
+    /// consumed, `false` if it merged into an existing entry. Merging a
+    /// delta into held parity keeps it current, so `full` is sticky.
+    pub fn add(&mut self, parity_block: u64, full: bool) -> bool {
+        self.inserts += 1;
+        match self.entries.get_mut(&parity_block) {
+            Some(e) => {
+                e.full = e.full || full;
+                self.merges += 1;
+                false
+            }
+            None => {
+                self.entries.insert(parity_block, SpoolEntry { full });
+                self.peak = self.peak.max(self.entries.len());
+                true
+            }
+        }
+    }
+
+    /// Whether an update for `parity_block` is already buffered (a further
+    /// update would merge without consuming a slot).
+    pub fn contains(&self, parity_block: u64) -> bool {
+        self.entries.contains_key(&parity_block)
+    }
+
+    /// Slots currently occupied.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Updates that merged into an already-buffered entry (write
+    /// absorption on the parity disk).
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    pub fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// High-water mark of occupancy (the paper's "the parity disk queue
+    /// becomes large enough to occupy the entire cache" check).
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Drain the next run under the SCAN sweep: up to `max` *consecutive*
+    /// blocks of the same kind (full/delta), starting at the nearest entry
+    /// in the sweep direction; the sweep reverses at the ends.
+    pub fn pop_run(&mut self, max: u32) -> Option<SpoolRun> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let start = if self.upward {
+            match self.entries.range(self.cursor..).next() {
+                Some((&b, _)) => b,
+                None => {
+                    self.upward = false;
+                    *self.entries.range(..self.cursor).next_back().map(|(b, _)| b)?
+                }
+            }
+        } else {
+            match self.entries.range(..=self.cursor).next_back() {
+                Some((&b, _)) => b,
+                None => {
+                    self.upward = true;
+                    *self.entries.range(self.cursor..).next().map(|(b, _)| b)?
+                }
+            }
+        };
+
+        // Collect a consecutive same-kind run ascending from `start` (runs
+        // are written in ascending block order regardless of sweep
+        // direction; the sweep only picks where to go next).
+        let full = self.entries[&start].full;
+        let mut nblocks = 1u32;
+        while nblocks < max {
+            let next = start + nblocks as u64;
+            match self.entries.get(&next) {
+                Some(e) if e.full == full => nblocks += 1,
+                _ => break,
+            }
+        }
+        for b in 0..nblocks as u64 {
+            self.entries.remove(&(start + b));
+        }
+        self.cursor = if self.upward {
+            start + nblocks as u64
+        } else {
+            start.saturating_sub(1)
+        };
+        Some(SpoolRun {
+            block: start,
+            nblocks,
+            full,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_merge_slot_accounting() {
+        let mut s = ParitySpool::new();
+        assert!(s.add(10, false), "first update takes a slot");
+        assert!(!s.add(10, false), "second merges");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.merges(), 1);
+        assert_eq!(s.inserts(), 2);
+    }
+
+    #[test]
+    fn full_parity_is_sticky_under_merge() {
+        let mut s = ParitySpool::new();
+        s.add(5, true);
+        s.add(5, false); // delta folded into held full parity
+        let run = s.pop_run(8).unwrap();
+        assert!(run.full);
+
+        let mut s = ParitySpool::new();
+        s.add(6, false);
+        s.add(6, true); // full replaces delta
+        assert!(s.pop_run(8).unwrap().full);
+    }
+
+    #[test]
+    fn pop_run_groups_consecutive_same_kind() {
+        let mut s = ParitySpool::new();
+        for b in [3u64, 4, 5, 9] {
+            s.add(b, false);
+        }
+        s.add(6, true); // breaks the run: different kind
+        let r = s.pop_run(16).unwrap();
+        assert_eq!(r, SpoolRun { block: 3, nblocks: 3, full: false });
+        let r = s.pop_run(16).unwrap();
+        assert_eq!(r, SpoolRun { block: 6, nblocks: 1, full: true });
+        let r = s.pop_run(16).unwrap();
+        assert_eq!(r, SpoolRun { block: 9, nblocks: 1, full: false });
+        assert!(s.pop_run(16).is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn pop_run_respects_max() {
+        let mut s = ParitySpool::new();
+        for b in 0..10u64 {
+            s.add(b, false);
+        }
+        assert_eq!(s.pop_run(4).unwrap().nblocks, 4);
+        assert_eq!(s.pop_run(4).unwrap().block, 4);
+    }
+
+    #[test]
+    fn scan_sweeps_up_then_down() {
+        let mut s = ParitySpool::new();
+        s.add(100, false);
+        s.add(50, false);
+        s.add(200, false);
+        // Cursor starts at 0 going up: services 50, 100, 200.
+        assert_eq!(s.pop_run(1).unwrap().block, 50);
+        assert_eq!(s.pop_run(1).unwrap().block, 100);
+        s.add(10, false); // behind the cursor: picked up on the way back
+        assert_eq!(s.pop_run(1).unwrap().block, 200);
+        assert_eq!(s.pop_run(1).unwrap().block, 10, "sweep reversed");
+        assert_eq!(s.peak(), 3);
+    }
+
+    #[test]
+    fn empty_spool_pops_none() {
+        let mut s = ParitySpool::new();
+        assert!(s.pop_run(8).is_none());
+        assert_eq!(s.len(), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Closed-form M/G/1 cross-check for the simulator.
+//!
+//! Under assumptions the simulator can be *forced* to satisfy — Poisson
+//! arrivals, uniformly random single-block reads, independent disks (Base
+//! organization) — each disk is an M/G/1 queue with service
+//! `S = seek + rotational latency + transfer`, and the mean response time
+//! follows Pollaczek–Khinchine:
+//!
+//! ```text
+//! E[R] = E[S] + λ·E[S²] / (2·(1 − ρ)),   ρ = λ·E[S]
+//! ```
+//!
+//! (plus the host channel transfer, which at validation loads is
+//! uncontended). Chen & Towsley [9 in the paper] built their parity-striping
+//! comparison on exactly this kind of model; here it serves as an
+//! *independent oracle*: the integration suite generates a workload
+//! matching the assumptions and requires the simulated mean to land on the
+//! prediction. A simulator bug in seek math, rotational bookkeeping,
+//! queueing or statistics shows up as a divergence.
+
+use crate::config::SimConfig;
+use serde::{Deserialize, Serialize};
+
+/// Mean service-time decomposition and the M/G/1 response prediction, all
+/// in milliseconds.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Mg1Prediction {
+    /// Mean seek (uniform random moving seeks, with the no-move case mixed
+    /// in at probability 1/C).
+    pub seek_ms: f64,
+    /// Mean rotational latency (half a revolution).
+    pub latency_ms: f64,
+    /// Media transfer for one block.
+    pub transfer_ms: f64,
+    /// Mean disk service time E\[S\].
+    pub service_ms: f64,
+    /// Second moment E\[S²\] (ms²).
+    pub service_sq_ms2: f64,
+    /// Offered per-disk utilization ρ = λ·E\[S\].
+    pub utilization: f64,
+    /// Mean queueing delay (Pollaczek–Khinchine).
+    pub wait_ms: f64,
+    /// Host channel transfer for one block.
+    pub channel_ms: f64,
+    /// Predicted mean response E\[R\] = wait + service + channel.
+    pub response_ms: f64,
+}
+
+/// Predict the mean response time of the **Base** organization under
+/// uniformly random single-block reads arriving Poisson at
+/// `per_disk_rate_hz` per disk.
+///
+/// Panics if the load is unstable (ρ ≥ 1).
+pub fn mg1_base_read_response(cfg: &SimConfig, per_disk_rate_hz: f64) -> Mg1Prediction {
+    let g = &cfg.geometry;
+    let cyls = g.cylinders;
+    let rot_ms = g.rotation_ns() as f64 / 1e6;
+    let transfer_ms = g.block_transfer_ns() as f64 / 1e6;
+    let channel_ms = g.block_bytes as f64 / cfg.channel_bytes_per_sec as f64 * 1e3;
+
+    // Seek moments: uniformly random target cylinders give a no-move
+    // probability of 1/C and the triangular distance law otherwise.
+    let p_move = 1.0 - 1.0 / cyls as f64;
+    let seek_m1 = p_move * cfg.seek.seek_moment_ms(cyls, 1);
+    let seek_m2 = p_move * cfg.seek.seek_moment_ms(cyls, 2);
+
+    // Rotational latency ~ U(0, rot): E = rot/2, E[L²] = rot²/3.
+    let lat_m1 = rot_ms / 2.0;
+    let lat_m2 = rot_ms * rot_ms / 3.0;
+
+    // S = seek + latency + transfer, the three terms independent.
+    let service_ms = seek_m1 + lat_m1 + transfer_ms;
+    let service_sq = seek_m2
+        + lat_m2
+        + transfer_ms * transfer_ms
+        + 2.0 * (seek_m1 * lat_m1 + seek_m1 * transfer_ms + lat_m1 * transfer_ms);
+
+    let lambda = per_disk_rate_hz / 1e3; // per ms
+    let utilization = lambda * service_ms;
+    assert!(
+        utilization < 1.0,
+        "unstable load: ρ = {utilization:.3} at {per_disk_rate_hz} req/s/disk"
+    );
+    let wait_ms = lambda * service_sq / (2.0 * (1.0 - utilization));
+
+    Mg1Prediction {
+        seek_ms: seek_m1,
+        latency_ms: lat_m1,
+        transfer_ms,
+        service_ms,
+        service_sq_ms2: service_sq,
+        utilization,
+        wait_ms,
+        channel_ms,
+        response_ms: wait_ms + service_ms + channel_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_zero_load_response_is_the_service_floor() {
+        let cfg = SimConfig::default();
+        let p = mg1_base_read_response(&cfg, 1e-9);
+        // 11.2·(1−1/1260) seek + 5.556 latency + 1.852 transfer ≈ 18.6 ms,
+        // plus 0.41 ms channel.
+        assert!((p.seek_ms - 11.19).abs() < 0.02, "seek {}", p.seek_ms);
+        assert!((p.latency_ms - 5.5556).abs() < 1e-3);
+        assert!((p.transfer_ms - 1.852).abs() < 1e-3);
+        assert!(p.wait_ms < 1e-6);
+        assert!((p.response_ms - (p.service_ms + 0.4096)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wait_grows_convexly_with_load() {
+        let cfg = SimConfig::default();
+        let w = |rate: f64| mg1_base_read_response(&cfg, rate).wait_ms;
+        let (w10, w25, w40) = (w(10.0), w(25.0), w(40.0));
+        assert!(w10 < w25 && w25 < w40);
+        // Convexity: the increase accelerates.
+        assert!(w40 - w25 > w25 - w10);
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable load")]
+    fn rejects_overload() {
+        // E[S] ≈ 18.6 ms ⇒ saturation near 54 req/s/disk.
+        mg1_base_read_response(&SimConfig::default(), 60.0);
+    }
+}

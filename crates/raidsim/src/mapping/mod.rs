@@ -1,0 +1,287 @@
+//! Logical→physical address mapping for every organization.
+//!
+//! The trace addresses a *logical database*: `n_logical` disks of
+//! `blocks_per_disk` 4 KB blocks. Logical disks are grouped `N` per array;
+//! within an array a request is a run of consecutive blocks at a *logical
+//! array address* `laddr ∈ [0, N·blocks_per_disk)`. Each mapping turns such
+//! runs into per-physical-disk runs, and for writes produces a
+//! [`WritePlan`] describing the data, extra-read, and parity accesses each
+//! touched stripe needs.
+
+mod degraded;
+mod parstrip;
+mod raid;
+mod simple;
+
+pub use degraded::DegradedRead;
+pub use parstrip::ParStripMap;
+pub use raid::RaidMap;
+pub use simple::{BaseMap, MirrorMap};
+
+use crate::config::Organization;
+
+/// A run of consecutive physical blocks on one disk of the array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Run {
+    /// Physical disk index within the array.
+    pub disk: u32,
+    /// First physical block on that disk.
+    pub block: u64,
+    pub nblocks: u32,
+}
+
+/// How a stripe's worth of a write is carried out (Section 2.1 / 3.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StripeMode {
+    /// Every data block of the stripe is written: parity is computed from
+    /// the new data and written outright; nothing is read.
+    Full,
+    /// More than half the stripe is written: read the *remaining* units,
+    /// compute parity from new data + read data, write data and parity
+    /// (no read-modify-write rotations).
+    Reconstruct,
+    /// Less than half: read-modify-write — data disks pre-read old data,
+    /// the parity disk pre-reads old parity; both pay the extra rotation.
+    Rmw,
+}
+
+/// One stripe's (or parity row group's) share of a write request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StripeWrite {
+    pub mode: StripeMode,
+    /// New-data runs (RMW runs pre-read old data in `Rmw` mode).
+    pub data: Vec<Run>,
+    /// `Reconstruct` only: other units' blocks to read first.
+    pub extra_reads: Vec<Run>,
+    /// Parity runs to update.
+    pub parity: Vec<Run>,
+}
+
+/// Decomposition of a whole write request.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WritePlan {
+    pub stripes: Vec<StripeWrite>,
+}
+
+/// Append `(disk, block)` to `runs`, merging with the last run when
+/// physically consecutive on the same disk.
+pub(crate) fn push_merged(runs: &mut Vec<Run>, disk: u32, block: u64) {
+    if let Some(last) = runs.last_mut() {
+        if last.disk == disk && last.block + last.nblocks as u64 == block {
+            last.nblocks += 1;
+            return;
+        }
+    }
+    runs.push(Run {
+        disk,
+        block,
+        nblocks: 1,
+    });
+}
+
+/// Organization-polymorphic mapping.
+#[derive(Clone, Debug)]
+pub enum OrgMap {
+    Base(BaseMap),
+    Mirror(MirrorMap),
+    Raid(RaidMap),
+    ParStrip(ParStripMap),
+}
+
+impl OrgMap {
+    /// Build the mapping for `org` with `n` logical disks per array of
+    /// `blocks_per_disk` blocks each.
+    pub fn new(org: Organization, n: u32, blocks_per_disk: u64) -> OrgMap {
+        match org {
+            Organization::Base => OrgMap::Base(BaseMap::new(n, blocks_per_disk)),
+            Organization::Mirror => OrgMap::Mirror(MirrorMap::new(n, blocks_per_disk)),
+            Organization::Raid5 { striping_unit } => {
+                OrgMap::Raid(RaidMap::new(n, blocks_per_disk, striping_unit, true))
+            }
+            Organization::Raid4 { striping_unit } => {
+                OrgMap::Raid(RaidMap::new(n, blocks_per_disk, striping_unit, false))
+            }
+            Organization::ParityStriping { placement } => {
+                OrgMap::ParStrip(ParStripMap::new(n, blocks_per_disk, placement))
+            }
+        }
+    }
+
+    /// Physical disks per array.
+    pub fn disks_per_array(&self) -> u32 {
+        match self {
+            OrgMap::Base(m) => m.n,
+            OrgMap::Mirror(m) => 2 * m.n,
+            OrgMap::Raid(m) => m.n + 1,
+            OrgMap::ParStrip(m) => m.n + 1,
+        }
+    }
+
+    /// Physical runs a read of `[laddr, laddr + n)` touches (primary copy
+    /// for mirrors; the simulator picks the replica per run).
+    pub fn read_runs(&self, laddr: u64, n: u32) -> Vec<Run> {
+        match self {
+            OrgMap::Base(m) => m.runs(laddr, n),
+            OrgMap::Mirror(m) => m.runs(laddr, n),
+            OrgMap::Raid(m) => m.data_runs(laddr, n),
+            OrgMap::ParStrip(m) => m.data_runs(laddr, n),
+        }
+    }
+
+    /// Decompose a write of `[laddr, laddr + n)`.
+    pub fn write_plan(&self, laddr: u64, n: u32) -> WritePlan {
+        match self {
+            OrgMap::Base(m) => WritePlan {
+                stripes: vec![StripeWrite {
+                    mode: StripeMode::Full, // plain writes: no parity work
+                    data: m.runs(laddr, n),
+                    extra_reads: Vec::new(),
+                    parity: Vec::new(),
+                }],
+            },
+            OrgMap::Mirror(m) => {
+                // Both copies are written; the simulator completes the
+                // request at the max of the two.
+                let primary = m.runs(laddr, n);
+                let mut data = primary.clone();
+                data.extend(primary.iter().map(|r| m.mirror_of(*r)));
+                WritePlan {
+                    stripes: vec![StripeWrite {
+                        mode: StripeMode::Full,
+                        data,
+                        extra_reads: Vec::new(),
+                        parity: Vec::new(),
+                    }],
+                }
+            }
+            OrgMap::Raid(m) => m.write_plan(laddr, n),
+            OrgMap::ParStrip(m) => m.write_plan(laddr, n),
+        }
+    }
+
+    /// The mirror copy of a physical run (mirror organization only).
+    pub fn mirror_of(&self, run: Run) -> Option<Run> {
+        match self {
+            OrgMap::Mirror(m) => Some(m.mirror_of(run)),
+            _ => None,
+        }
+    }
+
+    /// Logical array addresses usable by the trace (Parity Striping rounds
+    /// areas down; addresses past this are wrapped by the simulator).
+    pub fn logical_capacity(&self) -> u64 {
+        match self {
+            OrgMap::Base(m) => m.n as u64 * m.blocks_per_disk,
+            OrgMap::Mirror(m) => m.n as u64 * m.blocks_per_disk,
+            OrgMap::Raid(m) => m.logical_capacity(),
+            OrgMap::ParStrip(m) => m.logical_capacity(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ParityPlacement;
+
+    #[test]
+    fn push_merged_coalesces_consecutive() {
+        let mut runs = Vec::new();
+        push_merged(&mut runs, 0, 10);
+        push_merged(&mut runs, 0, 11);
+        push_merged(&mut runs, 0, 13); // gap
+        push_merged(&mut runs, 1, 14); // other disk
+        assert_eq!(
+            runs,
+            vec![
+                Run { disk: 0, block: 10, nblocks: 2 },
+                Run { disk: 0, block: 13, nblocks: 1 },
+                Run { disk: 1, block: 14, nblocks: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn orgmap_disks_per_array() {
+        let bpd = 1800;
+        assert_eq!(OrgMap::new(Organization::Base, 10, bpd).disks_per_array(), 10);
+        assert_eq!(OrgMap::new(Organization::Mirror, 10, bpd).disks_per_array(), 20);
+        assert_eq!(
+            OrgMap::new(Organization::Raid5 { striping_unit: 1 }, 10, bpd).disks_per_array(),
+            11
+        );
+        assert_eq!(
+            OrgMap::new(
+                Organization::ParityStriping { placement: ParityPlacement::End },
+                10,
+                bpd
+            )
+            .disks_per_array(),
+            11
+        );
+    }
+
+    #[test]
+    fn mirror_write_plan_covers_both_copies() {
+        let m = OrgMap::new(Organization::Mirror, 4, 1000);
+        let plan = m.write_plan(2500, 2);
+        assert_eq!(plan.stripes.len(), 1);
+        let s = &plan.stripes[0];
+        assert_eq!(s.data.len(), 2);
+        assert_eq!(s.data[0], Run { disk: 4, block: 500, nblocks: 2 });
+        assert_eq!(s.data[1], Run { disk: 5, block: 500, nblocks: 2 });
+        assert!(s.parity.is_empty());
+    }
+
+    #[test]
+    fn base_write_plan_has_no_parity() {
+        let m = OrgMap::new(Organization::Base, 4, 1000);
+        let plan = m.write_plan(0, 3);
+        assert_eq!(plan.stripes[0].data, vec![Run { disk: 0, block: 0, nblocks: 3 }]);
+        assert!(plan.stripes[0].parity.is_empty());
+        assert_eq!(plan.stripes[0].mode, StripeMode::Full);
+    }
+}
+
+#[cfg(test)]
+mod capacity_tests {
+    use super::*;
+    use crate::config::{Organization, ParityPlacement};
+
+    #[test]
+    fn raid_capacity_truncates_to_whole_stripes() {
+        // 226800 % 13 != 0: the tail sliver is unused.
+        let m = OrgMap::new(Organization::Raid5 { striping_unit: 13 }, 10, 226_800);
+        let stripes = 226_800 / 13;
+        assert_eq!(m.logical_capacity(), 10 * stripes * 13);
+        assert!(m.logical_capacity() < 10 * 226_800);
+        // The last mappable address stays within the disk.
+        let runs = m.read_runs(m.logical_capacity() - 1, 1);
+        assert!(runs[0].block < 226_800);
+    }
+
+    #[test]
+    fn parstrip_capacity_truncates_to_whole_areas() {
+        let m = OrgMap::new(
+            Organization::ParityStriping {
+                placement: ParityPlacement::Middle,
+            },
+            10,
+            226_800,
+        );
+        // 226800 / 11 = 20618 blocks per area (2 blocks unused per disk).
+        assert_eq!(m.logical_capacity(), 11 * 10 * 20_618);
+    }
+
+    #[test]
+    fn base_and_mirror_use_full_capacity() {
+        assert_eq!(
+            OrgMap::new(Organization::Base, 10, 226_800).logical_capacity(),
+            2_268_000
+        );
+        assert_eq!(
+            OrgMap::new(Organization::Mirror, 10, 226_800).logical_capacity(),
+            2_268_000
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Simulation results.
+
+use nvcache::CacheStats;
+use raidtp_stats::{DiskCounters, Histogram, Welford};
+use serde::{Deserialize, Serialize};
+
+/// Everything a run measured. Response times are *host-observed*: from
+/// request arrival to the last byte landing (reads) or to the data — and,
+/// in non-cached parity organizations, the parity — being on stable storage
+/// (writes).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Organization label (e.g. `"RAID5"`).
+    pub organization: String,
+    pub requests_completed: u64,
+    pub reads_completed: u64,
+    pub writes_completed: u64,
+
+    pub response_all_ms: Welford,
+    pub response_reads_ms: Welford,
+    pub response_writes_ms: Welford,
+    pub histogram_ms: Histogram,
+
+    /// Physical accesses per disk, concatenated array by array
+    /// (Figures 6–7).
+    pub per_disk_accesses: DiskCounters,
+    /// Per-disk busy fraction over the simulated span.
+    pub disk_utilization: Vec<f64>,
+    /// Per-array channel busy fraction.
+    pub channel_utilization: Vec<f64>,
+
+    /// Cache accounting (cached runs only).
+    pub cache: Option<CacheStats>,
+    /// RAID4 parity-spool high-water mark (slots) and merge count.
+    pub spool_peak: usize,
+    pub spool_merges: u64,
+    /// Destage groups that could not reserve spool slots and were deferred.
+    pub spool_stalls: u64,
+
+    /// Total physical disk operations dispatched.
+    pub disk_ops: u64,
+    /// Admissions that had to wait for track buffers.
+    pub buffer_waits: u64,
+    /// Simulated time span, seconds.
+    pub elapsed_secs: f64,
+}
+
+impl SimReport {
+    /// Mean response time over all requests, ms — the paper's headline
+    /// metric.
+    pub fn mean_response_ms(&self) -> f64 {
+        self.response_all_ms.mean()
+    }
+
+    pub fn mean_read_ms(&self) -> f64 {
+        self.response_reads_ms.mean()
+    }
+
+    pub fn mean_write_ms(&self) -> f64 {
+        self.response_writes_ms.mean()
+    }
+
+    /// Response-time quantile, ms.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        self.histogram_ms.quantile(q)
+    }
+
+    /// Mean utilization across all disks.
+    pub fn mean_disk_utilization(&self) -> f64 {
+        if self.disk_utilization.is_empty() {
+            0.0
+        } else {
+            self.disk_utilization.iter().sum::<f64>() / self.disk_utilization.len() as f64
+        }
+    }
+
+    /// Utilization of the busiest disk.
+    pub fn max_disk_utilization(&self) -> f64 {
+        self.disk_utilization.iter().copied().fold(0.0, f64::max)
+    }
+
+    pub fn read_hit_ratio(&self) -> f64 {
+        self.cache.map_or(0.0, |c| c.read_hit_ratio())
+    }
+
+    pub fn write_hit_ratio(&self) -> f64 {
+        self.cache.map_or(0.0, |c| c.write_hit_ratio())
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} reqs, mean {:.2} ms (reads {:.2}, writes {:.2}), p95 {:.1} ms, util {:.1}%",
+            self.organization,
+            self.requests_completed,
+            self.mean_response_ms(),
+            self.mean_read_ms(),
+            self.mean_write_ms(),
+            self.quantile_ms(0.95),
+            self.mean_disk_utilization() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        let mut all = Welford::new();
+        let mut reads = Welford::new();
+        let mut writes = Welford::new();
+        let mut hist = Histogram::response_time_ms();
+        for x in [10.0, 20.0, 30.0] {
+            all.push(x);
+            hist.record(x);
+        }
+        reads.push(10.0);
+        reads.push(20.0);
+        writes.push(30.0);
+        SimReport {
+            organization: "Base".into(),
+            requests_completed: 3,
+            reads_completed: 2,
+            writes_completed: 1,
+            response_all_ms: all,
+            response_reads_ms: reads,
+            response_writes_ms: writes,
+            histogram_ms: hist,
+            per_disk_accesses: DiskCounters::new(2),
+            disk_utilization: vec![0.2, 0.4],
+            channel_utilization: vec![0.1],
+            cache: None,
+            spool_peak: 0,
+            spool_merges: 0,
+            spool_stalls: 0,
+            disk_ops: 3,
+            buffer_waits: 0,
+            elapsed_secs: 1.0,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = report();
+        assert_eq!(r.mean_response_ms(), 20.0);
+        assert_eq!(r.mean_read_ms(), 15.0);
+        assert_eq!(r.mean_write_ms(), 30.0);
+        assert!((r.mean_disk_utilization() - 0.3).abs() < 1e-12);
+        assert_eq!(r.max_disk_utilization(), 0.4);
+        assert_eq!(r.read_hit_ratio(), 0.0, "no cache");
+        assert!(r.quantile_ms(1.0) >= 30.0);
+    }
+
+    #[test]
+    fn summary_mentions_org_and_counts() {
+        let s = report().summary();
+        assert!(s.contains("Base"));
+        assert!(s.contains("3 reqs"));
+    }
+}

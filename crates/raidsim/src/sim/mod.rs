@@ -1,0 +1,1017 @@
+//! The event-driven array simulator.
+//!
+//! One [`Simulator`] runs one trace against one configuration. Logical
+//! disks are grouped `N` per array; each array has its own disks, channel,
+//! track buffers and (optionally) NV cache, exactly as in Section 3.2 —
+//! arrays interact only through the shared trace.
+//!
+//! ## Event flow
+//!
+//! Requests arrive at trace-specified times and are decomposed by the
+//! organization's [`OrgMap`] into per-disk operations. Disks are FIFO
+//! servers with three service bands (parity-priority / normal /
+//! background); when an operation starts service its media timing is fully
+//! determined ([`diskmodel::Disk::plan`]), so read-completion times are known
+//! at dispatch and parity-update synchronization (Section 3.3) can be
+//! resolved with at most a few rescheduled completion events: a parity
+//! read-modify-write whose new contents are not ready when the head returns
+//! simply holds the disk for further full rotations, precisely the paper's
+//! behavior.
+
+mod cached;
+mod slab;
+
+use crate::config::{Organization, SimConfig, SyncPolicy};
+use crate::mapping::{OrgMap, Run, StripeMode};
+use crate::report::SimReport;
+use diskmodel::{rmw_write_complete, AccessKind, Band, Disk, OpQueue};
+use iochannel::{BufferPool, Channel};
+use nvcache::{NvCache, ParitySpool};
+use raidtp_stats::{DiskCounters, Histogram, Welford};
+use simkit::{Engine, SimTime};
+use slab::Slab;
+use std::collections::VecDeque;
+use tracegen::{AccessType, Trace, TraceRecord};
+
+/// What a disk operation is doing, which determines what happens when it
+/// completes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(super) enum OpRole {
+    /// Host read (non-cached): completion triggers a channel transfer that
+    /// finishes the request's share.
+    HostRead,
+    /// Plain data write on behalf of a request.
+    HostWrite,
+    /// Data-disk read-modify-write of an update (pre-reads old data).
+    RmwData,
+    /// Reconstruct-write helper read; feeds the parity job only.
+    ExtraRead,
+    /// Parity read-modify-write (resolved against the job's ready time).
+    ParityRmw,
+    /// Plain parity write (full-stripe / reconstruct).
+    ParityWrite,
+    /// Cache-miss fetch; finishes the request's share, then the tail
+    /// channel transfer runs.
+    CacheFetch,
+    /// Synchronous writeback of an evicted dirty block.
+    Writeback,
+    /// Background destage data write.
+    DestageData,
+    /// Background destage parity op (RAID5/Parity Striping).
+    DestageParity,
+    /// RAID4 parity-spool drain write.
+    SpoolDrain,
+    /// Degraded-mode peer read used to XOR-reconstruct a lost block;
+    /// finishes the request's share (reconstructed data leaves via the
+    /// request's tail channel transfer).
+    ReconstructRead,
+}
+
+/// When a parity job's parity operations get enqueued (Section 3.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EnqueueRule {
+    /// SI: already enqueued with the data.
+    AlreadyIssued,
+    /// RF (and reconstruct-writes): at the ready time.
+    AtReady,
+    /// DF: the moment every data access has acquired its disk.
+    AtAllStarted,
+}
+
+#[derive(Clone, Debug)]
+struct DiskOp {
+    role: OpRole,
+    req: Option<u32>,
+    job: Option<u32>,
+    dgroup: Option<u32>,
+    gdisk: u32,
+    block: u64,
+    nblocks: u32,
+    kind: AccessKind,
+    band: Band,
+    /// Whether this op's read phase feeds its parity job's ready time
+    /// (data RMW pre-reads and reconstruct helper reads).
+    feeds: bool,
+    /// Filled in at service start.
+    read_end: SimTime,
+    transfer_ns: u64,
+}
+
+#[derive(Clone, Debug)]
+struct ParityJob {
+    /// Data (or extra-read) ops not yet in service.
+    data_not_started: u32,
+    /// Max read-end among started feeder ops: when the new parity is
+    /// computable.
+    ready: SimTime,
+    pending_parity: Vec<u32>,
+    rule: EnqueueRule,
+    refs: u32,
+}
+
+#[derive(Clone, Debug)]
+struct Request {
+    arrive: SimTime,
+    is_read: bool,
+    array: u32,
+    pending: u32,
+    finish: SimTime,
+    buffers_held: u32,
+    tail_channel_bytes: u64,
+}
+
+/// Parameters of one write decomposition (host write or cache writeback).
+pub(super) struct WriteOps {
+    pub(super) req: Option<u32>,
+    pub(super) array: u32,
+    pub(super) laddr: u64,
+    pub(super) n: u32,
+    pub(super) band: Band,
+    pub(super) data_role: OpRole,
+    /// Cached old data available (writeback with a retained old copy):
+    /// data disks skip the pre-read and parity RMWs resolve immediately.
+    pub(super) old_known: bool,
+    /// RAID4 parity caching: parity updates go to the spool.
+    pub(super) spool: bool,
+}
+
+#[derive(Clone, Debug)]
+struct DestageJob {
+    group: nvcache::DestageGroup,
+    remaining: u32,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// Process the next trace record.
+    Arrive,
+    DiskDone { gdisk: u32, op: u32 },
+    /// Enqueue prepared operations (channel staging done / ready time hit).
+    Issue(Box<[u32]>),
+    /// RF / reconstruct: parity ops released at the job's ready time.
+    EnqueueParity(u32),
+    DestageTick { array: u32 },
+}
+
+/// Trace-driven simulator for one configuration. Construct with
+/// [`Simulator::new`], consume with [`Simulator::run`].
+pub struct Simulator<'t> {
+    cfg: SimConfig,
+    trace: &'t Trace,
+    map: OrgMap,
+    engine: Engine<Ev>,
+
+    // Per physical disk (global index = array·disks_per_array + local).
+    disks: Vec<Disk>,
+    queues: Vec<OpQueue<u32>>,
+    in_service: Vec<Option<u32>>,
+    // Per array.
+    channels: Vec<Channel>,
+    buffers: Vec<BufferPool>,
+    admission_wait: Vec<VecDeque<(usize, u32)>>,
+    caches: Vec<NvCache>,
+    spools: Vec<ParitySpool>,
+
+    ops: Slab<DiskOp>,
+    jobs: Slab<ParityJob>,
+    reqs: Slab<Request>,
+    dgroups: Slab<DestageJob>,
+
+    // Cached constants.
+    arrays: u32,
+    dpa: u32,
+    failed_gdisk: Option<u32>,
+    n: u32,
+    bpd: u64,
+    rot_ns: u64,
+    block_bytes: u64,
+    destage_period_ns: u64,
+    parity_cached: bool,
+
+    // Progress and stats.
+    next_arrival: usize,
+    inflight: u64,
+    resp_all: Welford,
+    resp_reads: Welford,
+    resp_writes: Welford,
+    hist: Histogram,
+    disk_counts: DiskCounters,
+    disk_ops: u64,
+    buffer_waits: u64,
+    spool_stalls: u64,
+    completed: u64,
+    completed_reads: u64,
+    completed_writes: u64,
+}
+
+impl<'t> Simulator<'t> {
+    /// Build a simulator for `cfg` over `trace`. Panics on an invalid
+    /// configuration (use [`SimConfig::validate`] to check first).
+    pub fn new(cfg: SimConfig, trace: &'t Trace) -> Simulator<'t> {
+        cfg.validate().expect("invalid SimConfig");
+        let n = cfg.data_disks_per_array;
+        let bpd = cfg.geometry.blocks_per_disk();
+        assert!(
+            trace.blocks_per_disk <= bpd,
+            "trace addresses exceed the physical disk size"
+        );
+        let arrays = cfg.arrays_for(trace.n_disks);
+        let map = OrgMap::new(cfg.organization, n, bpd);
+        let dpa = map.disks_per_array();
+        let total_disks = (arrays * dpa) as usize;
+
+        // Un-synchronized spindles: deterministic pseudo-random phases from
+        // the seed (splitmix64 over the disk index).
+        let rot_ns = cfg.geometry.rotation_ns();
+        let phase = |i: u64| -> u64 {
+            let mut z = cfg.seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) % rot_ns
+        };
+        let disks = (0..total_disks)
+            .map(|i| Disk::new(cfg.geometry.clone(), cfg.seek, phase(i as u64)))
+            .collect();
+
+        let cache_blocks = cfg
+            .cache
+            .map(|c| nvcache::blocks_for_mb(c.size_mb, cfg.geometry.block_bytes as u64) as usize);
+        let caches = match cache_blocks {
+            Some(blocks) => (0..arrays).map(|_| NvCache::new(blocks)).collect(),
+            None => Vec::new(),
+        };
+        let parity_cached = cfg.cache.is_some()
+            && matches!(cfg.organization, Organization::Raid4 { .. });
+        let spools = if parity_cached {
+            (0..arrays).map(|_| ParitySpool::new()).collect()
+        } else {
+            Vec::new()
+        };
+
+        let failed_gdisk = cfg.failed_disk.map(|(a, d)| {
+            assert!(a < arrays, "failed disk's array out of range");
+            a * dpa + d
+        });
+        Simulator {
+            engine: Engine::new(),
+            disks,
+            queues: (0..total_disks).map(|_| OpQueue::new()).collect(),
+            in_service: vec![None; total_disks],
+            channels: (0..arrays)
+                .map(|_| Channel::new(cfg.channel_bytes_per_sec))
+                .collect(),
+            buffers: (0..arrays)
+                .map(|_| BufferPool::new(cfg.track_buffers_per_disk * dpa))
+                .collect(),
+            admission_wait: (0..arrays).map(|_| VecDeque::new()).collect(),
+            caches,
+            spools,
+            ops: Slab::new(),
+            jobs: Slab::new(),
+            reqs: Slab::new(),
+            dgroups: Slab::new(),
+            arrays,
+            dpa,
+            failed_gdisk,
+            n,
+            bpd,
+            rot_ns,
+            block_bytes: cfg.geometry.block_bytes as u64,
+            destage_period_ns: cfg
+                .cache
+                .map_or(0, |c| c.destage_period_ms * 1_000_000),
+            parity_cached,
+            next_arrival: 0,
+            inflight: 0,
+            resp_all: Welford::new(),
+            resp_reads: Welford::new(),
+            resp_writes: Welford::new(),
+            hist: Histogram::response_time_ms(),
+            disk_counts: DiskCounters::new(total_disks),
+            disk_ops: 0,
+            buffer_waits: 0,
+            spool_stalls: 0,
+            completed: 0,
+            completed_reads: 0,
+            completed_writes: 0,
+            map,
+            cfg,
+            trace,
+        }
+    }
+
+    /// Run to completion and produce the report.
+    pub fn run(mut self) -> SimReport {
+        if let Some(first) = self.trace.records.first() {
+            self.engine.schedule_at(first.at, Ev::Arrive);
+        }
+        if self.cfg.cache.is_some() {
+            for a in 0..self.arrays {
+                self.engine
+                    .schedule_after(self.destage_period_ns, Ev::DestageTick { array: a });
+            }
+        }
+        while let Some(ev) = self.engine.next_event() {
+            self.dispatch(ev);
+        }
+        debug_assert_eq!(self.inflight, 0, "requests left in flight");
+        debug_assert!(self.ops.is_empty(), "disk ops leaked");
+        debug_assert_eq!(self.jobs.len(), 0, "parity jobs leaked");
+        debug_assert_eq!(self.dgroups.len(), 0, "destage jobs leaked");
+        self.report()
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Arrive => self.on_arrive(),
+            Ev::DiskDone { gdisk, op } => self.on_disk_done(gdisk, op),
+            Ev::Issue(tokens) => {
+                for &t in tokens.iter() {
+                    self.enqueue_op(t);
+                }
+            }
+            Ev::EnqueueParity(job) => {
+                let pending = std::mem::take(&mut self.jobs.get_mut(job).pending_parity);
+                for t in pending {
+                    self.enqueue_op(t);
+                }
+            }
+            Ev::DestageTick { array } => self.on_destage_tick(array),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // arrivals and request setup
+    // ------------------------------------------------------------------
+
+    fn on_arrive(&mut self) {
+        let idx = self.next_arrival;
+        self.next_arrival += 1;
+        if let Some(next) = self.trace.records.get(self.next_arrival) {
+            self.engine.schedule_at(next.at, Ev::Arrive);
+        }
+        let rec = self.trace.records[idx];
+        let array = rec.disk / self.n;
+
+        if self.cfg.cache.is_none() {
+            // Track-buffer admission control (non-cached controllers stage
+            // all data through the buffer pool).
+            let needed = rec.nblocks.min(self.buffers[array as usize].capacity());
+            if !self.buffers[array as usize].try_acquire(needed) {
+                self.buffer_waits += 1;
+                self.admission_wait[array as usize].push_back((idx, needed));
+                return;
+            }
+            self.process_record(&rec, needed);
+        } else {
+            self.process_record(&rec, 0);
+        }
+    }
+
+    fn process_record(&mut self, rec: &TraceRecord, buffers_held: u32) {
+        let array = rec.disk / self.n;
+        let ldisk = rec.disk % self.n;
+        let laddr = (ldisk as u64 * self.bpd + rec.block) % self.map.logical_capacity();
+        let req = self.reqs.insert(Request {
+            arrive: rec.at,
+            is_read: rec.kind == AccessType::Read,
+            array,
+            pending: 0,
+            finish: rec.at,
+            buffers_held,
+            tail_channel_bytes: 0,
+        });
+        self.inflight += 1;
+
+        if self.cfg.cache.is_some() {
+            match rec.kind {
+                AccessType::Read => self.cached_read(req, rec, array, laddr),
+                AccessType::Write => self.cached_write(req, rec, array, laddr),
+            }
+        } else {
+            match rec.kind {
+                AccessType::Read => self.noncached_read(req, array, laddr, rec.nblocks),
+                AccessType::Write => self.noncached_write(req, array, laddr, rec.nblocks),
+            }
+        }
+        // A request with no pending parts (e.g. a pure cache hit) finishes
+        // immediately.
+        if self.reqs.get(req).pending == 0 {
+            self.finalize_request(req);
+        }
+    }
+
+    fn noncached_read(&mut self, req: u32, array: u32, laddr: u64, n: u32) {
+        if let Some(f) = self.failed_in(array) {
+            let degraded = self.map.degraded_read_runs(laddr, n, f);
+            for run in degraded.direct {
+                let run = self.choose_replica(array, run);
+                self.read_op(req, array, run, OpRole::HostRead);
+            }
+            if !degraded.reconstruct.is_empty() {
+                // The rebuilt blocks go to the host once every peer read
+                // lands.
+                self.reqs.get_mut(req).tail_channel_bytes = n as u64 * self.block_bytes;
+                for run in degraded.reconstruct {
+                    self.read_op(req, array, run, OpRole::ReconstructRead);
+                }
+            }
+            return;
+        }
+        for run in self.map.read_runs(laddr, n) {
+            let run = self.choose_replica(array, run);
+            self.read_op(req, array, run, OpRole::HostRead);
+        }
+    }
+
+    /// Enqueue a normal-band read on behalf of a request.
+    fn read_op(&mut self, req: u32, array: u32, run: Run, role: OpRole) {
+        let t = self.new_op(DiskOp {
+            role,
+            req: Some(req),
+            job: None,
+            dgroup: None,
+            gdisk: self.gdisk(array, run.disk),
+            block: run.block,
+            nblocks: run.nblocks,
+            kind: AccessKind::Read,
+            band: Band::Normal,
+            feeds: false,
+            read_end: SimTime::ZERO,
+            transfer_ns: 0,
+        });
+        self.reqs.get_mut(req).pending += 1;
+        self.enqueue_op(t);
+    }
+
+    fn noncached_write(&mut self, req: u32, array: u32, laddr: u64, n: u32) {
+        // Write data crosses the channel into the track buffers first; disk
+        // operations are released when the staging transfer completes.
+        let now = self.engine.now();
+        let tr = self.channels[array as usize].request(now, n as u64 * self.block_bytes);
+        let immediate = self.build_write_ops(WriteOps {
+            req: Some(req),
+            array,
+            laddr,
+            n,
+            band: Band::Normal,
+            data_role: OpRole::HostWrite,
+            old_known: false,
+            spool: false,
+        });
+        let r = self.reqs.get_mut(req);
+        r.finish = r.finish.max(tr.end);
+        self.engine.schedule_at(tr.end, Ev::Issue(immediate.into()));
+    }
+
+    /// Create the disk ops (and parity jobs) for a write of
+    /// `[laddr, laddr+n)` under the organization's (possibly degraded)
+    /// plan; returns the immediately issuable tokens — parity ops gated by
+    /// a synchronization rule are issued later by their job.
+    pub(super) fn build_write_ops(&mut self, w: WriteOps) -> Vec<u32> {
+        let WriteOps {
+            req,
+            array,
+            laddr,
+            n,
+            band,
+            data_role,
+            old_known,
+            spool,
+        } = w;
+        let plan = self.plan_write(array, laddr, n);
+        let parity_band = if band == Band::Normal && self.cfg.sync.has_priority() {
+            Band::Priority
+        } else {
+            band
+        };
+        let mut immediate = Vec::new();
+        for stripe in plan.stripes {
+            if spool && !stripe.parity.is_empty() {
+                // RAID4 parity caching: buffer the update instead of
+                // touching the parity disk. Full-stripe and reconstruct
+                // writes hold real parity; RMW deltas still need the
+                // old-parity pre-read at drain time.
+                let full = stripe.mode != StripeMode::Rmw;
+                for p in &stripe.parity {
+                    for b in 0..p.nblocks as u64 {
+                        self.spool_parity(array, p.block + b, full, req);
+                    }
+                }
+            }
+            match stripe.mode {
+                StripeMode::Full => {
+                    for r in &stripe.data {
+                        let t = self.data_op(req, array, r, data_role, AccessKind::Write, band, None);
+                        immediate.push(t);
+                    }
+                    if !spool {
+                        for p in &stripe.parity {
+                            let t = self.data_op(req, array, p, OpRole::ParityWrite, AccessKind::Write, parity_band, None);
+                            immediate.push(t);
+                        }
+                    }
+                }
+                StripeMode::Reconstruct => {
+                    // Parity is recomputed from the surviving reads; when it
+                    // is spooled (RAID4) or absent (degraded parity disk),
+                    // the helper reads serve no one and are skipped.
+                    let job = (!spool && !stripe.parity.is_empty()).then(|| {
+                        self.jobs.insert(ParityJob {
+                            data_not_started: stripe.extra_reads.len() as u32,
+                            ready: SimTime::ZERO,
+                            pending_parity: Vec::new(),
+                            rule: EnqueueRule::AtReady,
+                            refs: (stripe.extra_reads.len() + stripe.parity.len()) as u32,
+                        })
+                    });
+                    if let Some(job) = job {
+                        for p in &stripe.parity {
+                            let t = self.data_op(req, array, p, OpRole::ParityWrite, AccessKind::Write, parity_band, Some(job));
+                            self.jobs.get_mut(job).pending_parity.push(t);
+                        }
+                        if stripe.extra_reads.is_empty() {
+                            // Parity computable from new data alone.
+                            let pending = std::mem::take(&mut self.jobs.get_mut(job).pending_parity);
+                            immediate.extend(pending);
+                        }
+                        for r in &stripe.extra_reads {
+                            let t = self.extra_read_op(array, r, job, band);
+                            immediate.push(t);
+                        }
+                    }
+                    for r in &stripe.data {
+                        let t = self.data_op(req, array, r, data_role, AccessKind::Write, band, None);
+                        immediate.push(t);
+                    }
+                }
+                StripeMode::Rmw => {
+                    let rule = match self.cfg.sync {
+                        SyncPolicy::SimultaneousIssue => EnqueueRule::AlreadyIssued,
+                        SyncPolicy::ReadFirst | SyncPolicy::ReadFirstPriority => EnqueueRule::AtReady,
+                        SyncPolicy::DiskFirst | SyncPolicy::DiskFirstPriority => {
+                            EnqueueRule::AtAllStarted
+                        }
+                    };
+                    // With the old data cached (writeback of a block whose
+                    // old copy was retained) the parity delta is computable
+                    // up front: data goes out as a plain write and the
+                    // parity RMW needs no feeder. A spooled parity still
+                    // wants the pre-read when the old data is unknown, to
+                    // form the delta, but nothing waits on it.
+                    let pre_read = !stripe.parity.is_empty() && !old_known;
+                    let data_kind = if pre_read {
+                        AccessKind::RmwData
+                    } else {
+                        AccessKind::Write
+                    };
+                    let needs_job = !spool && pre_read;
+                    let job = needs_job.then(|| {
+                        self.jobs.insert(ParityJob {
+                            data_not_started: stripe.data.len() as u32,
+                            ready: SimTime::ZERO,
+                            pending_parity: Vec::new(),
+                            rule,
+                            refs: (stripe.data.len() + stripe.parity.len()) as u32,
+                        })
+                    });
+                    for r in &stripe.data {
+                        let role = if job.is_some() { OpRole::RmwData } else { data_role };
+                        let t = self.data_op(req, array, r, role, data_kind, band, job);
+                        immediate.push(t);
+                    }
+                    if spool {
+                        continue;
+                    }
+                    for p in &stripe.parity {
+                        let t = self.data_op(
+                            req,
+                            array,
+                            p,
+                            OpRole::ParityRmw,
+                            AccessKind::RmwParityRead,
+                            parity_band,
+                            job,
+                        );
+                        match job {
+                            None => immediate.push(t), // ready immediately
+                            Some(j) => {
+                                if rule == EnqueueRule::AlreadyIssued {
+                                    immediate.push(t);
+                                } else {
+                                    self.jobs.get_mut(j).pending_parity.push(t);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        immediate
+    }
+
+    #[allow(clippy::too_many_arguments)] // a plain op builder; a params struct would add noise
+    fn data_op(
+        &mut self,
+        req: Option<u32>,
+        array: u32,
+        run: &Run,
+        role: OpRole,
+        kind: AccessKind,
+        band: Band,
+        job: Option<u32>,
+    ) -> u32 {
+        if let Some(q) = req {
+            self.reqs.get_mut(q).pending += 1;
+        }
+        self.new_op(DiskOp {
+            role,
+            req,
+            job,
+            dgroup: None,
+            gdisk: self.gdisk(array, run.disk),
+            block: run.block,
+            nblocks: run.nblocks,
+            kind,
+            band,
+            feeds: kind == AccessKind::RmwData && job.is_some(),
+            read_end: SimTime::ZERO,
+            transfer_ns: 0,
+        })
+    }
+
+    /// Reconstruct helper read: feeds its parity job and never counts
+    /// toward the request (the parity write it feeds always finishes
+    /// later).
+    fn extra_read_op(&mut self, array: u32, run: &Run, job: u32, band: Band) -> u32 {
+        self.new_op(DiskOp {
+            role: OpRole::ExtraRead,
+            req: None,
+            job: Some(job),
+            dgroup: None,
+            gdisk: self.gdisk(array, run.disk),
+            block: run.block,
+            nblocks: run.nblocks,
+            kind: AccessKind::Read,
+            band,
+            feeds: true,
+            read_end: SimTime::ZERO,
+            transfer_ns: 0,
+        })
+    }
+
+
+    // ------------------------------------------------------------------
+    // disk machinery
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn gdisk(&self, array: u32, disk_in_array: u32) -> u32 {
+        array * self.dpa + disk_in_array
+    }
+
+    /// The failed disk's index within `array`, if the failure is in it.
+    #[inline]
+    pub(super) fn failed_in(&self, array: u32) -> Option<u32> {
+        self.failed_gdisk
+            .filter(|&g| g / self.dpa == array)
+            .map(|g| g % self.dpa)
+    }
+
+    /// The organization-appropriate write plan, accounting for a failed
+    /// disk in this array.
+    pub(super) fn plan_write(&self, array: u32, laddr: u64, n: u32) -> crate::mapping::WritePlan {
+        match self.failed_in(array) {
+            Some(f) => self.map.degraded_write_plan(laddr, n, f),
+            None => self.map.write_plan(laddr, n),
+        }
+    }
+
+    fn new_op(&mut self, op: DiskOp) -> u32 {
+        self.ops.insert(op)
+    }
+
+    /// For mirrors, send a read to the pair member with the shorter queue,
+    /// breaking ties by arm distance ("shortest seek optimization") then
+    /// disk id.
+    fn choose_replica(&self, array: u32, run: Run) -> Run {
+        let Some(alt) = self.map.mirror_of(run) else {
+            return run;
+        };
+        // A failed pair member is never selected.
+        if self.failed_in(array) == Some(run.disk) {
+            return alt;
+        }
+        if self.failed_in(array) == Some(alt.disk) {
+            return run;
+        }
+        let load = |r: &Run| {
+            let g = self.gdisk(array, r.disk) as usize;
+            (
+                self.queues[g].foreground_len() + self.in_service[g].is_some() as usize,
+                self.disks[g].arm_distance(r.block),
+                r.disk,
+            )
+        };
+        if load(&alt) < load(&run) {
+            alt
+        } else {
+            run
+        }
+    }
+
+    fn enqueue_op(&mut self, token: u32) {
+        let (gdisk, band) = {
+            let op = self.ops.get(token);
+            (op.gdisk, op.band)
+        };
+        self.queues[gdisk as usize].push(band, token);
+        self.try_start(gdisk);
+    }
+
+    fn try_start(&mut self, gdisk: u32) {
+        if self.in_service[gdisk as usize].is_some() {
+            return;
+        }
+        let Some((_, token)) = self.queues[gdisk as usize].pop() else {
+            return;
+        };
+        self.start_op(gdisk, token);
+    }
+
+    fn start_op(&mut self, gdisk: u32, token: u32) {
+        let now = self.engine.now();
+        let (block, nblocks, kind, job, feeds) = {
+            let op = self.ops.get(token);
+            (op.block, op.nblocks, op.kind, op.job, op.feeds)
+        };
+        let timing = self.disks[gdisk as usize].plan(now, block, nblocks, kind);
+        self.disk_counts.add(gdisk as usize, 1);
+        self.disk_ops += 1;
+        {
+            let op = self.ops.get_mut(token);
+            op.read_end = timing.read_end;
+            op.transfer_ns = timing.transfer_ns;
+        }
+
+        // Feeder ops report their read-completion to the parity job the
+        // moment service starts (the timing is deterministic from here).
+        if feeds {
+            if let Some(j) = job {
+                self.feed_job(j, timing.read_end);
+            }
+        }
+
+        // Parity RMW ops whose readiness is already known can commit their
+        // final completion outright.
+        let complete = if kind == AccessKind::RmwParityRead {
+            match job {
+                Some(j) if self.jobs.get(j).data_not_started > 0 => timing.complete,
+                Some(j) => rmw_write_complete(
+                    timing.read_end,
+                    timing.transfer_ns,
+                    self.rot_ns,
+                    self.jobs.get(j).ready,
+                ),
+                None => timing.complete, // ready immediately: read_end + rot
+            }
+        } else {
+            timing.complete
+        };
+        self.disks[gdisk as usize].commit(&timing, complete);
+        self.in_service[gdisk as usize] = Some(token);
+        self.engine
+            .schedule_at(complete, Ev::DiskDone { gdisk, op: token });
+    }
+
+    /// A feeder (data RMW / reconstruct read) started service: update the
+    /// job's ready time and release parity ops per the synchronization rule.
+    fn feed_job(&mut self, job: u32, read_end: SimTime) {
+        let (became_ready, rule, ready) = {
+            let j = self.jobs.get_mut(job);
+            j.ready = j.ready.max(read_end);
+            j.data_not_started -= 1;
+            j.refs -= 1;
+            (j.data_not_started == 0, j.rule, j.ready)
+        };
+        if became_ready {
+            match rule {
+                EnqueueRule::AlreadyIssued => {}
+                EnqueueRule::AtReady => {
+                    if !self.jobs.get(job).pending_parity.is_empty() {
+                        self.engine.schedule_at(ready, Ev::EnqueueParity(job));
+                    }
+                }
+                EnqueueRule::AtAllStarted => {
+                    let pending = std::mem::take(&mut self.jobs.get_mut(job).pending_parity);
+                    for t in pending {
+                        self.enqueue_op(t);
+                    }
+                }
+            }
+        }
+        self.maybe_free_job(job);
+    }
+
+    fn maybe_free_job(&mut self, job: u32) {
+        if self.jobs.get(job).refs == 0 {
+            debug_assert!(self.jobs.get(job).pending_parity.is_empty());
+            self.jobs.remove(job);
+        }
+    }
+
+    fn on_disk_done(&mut self, gdisk: u32, token: u32) {
+        let now = self.engine.now();
+        // Parity RMWs may need to hold the disk for more rotations if the
+        // new parity was not ready when the head came back (Section 3.3).
+        if self.ops.get(token).kind == AccessKind::RmwParityRead {
+            let (read_end, transfer_ns, job) = {
+                let op = self.ops.get(token);
+                (op.read_end, op.transfer_ns, op.job)
+            };
+            let hold_until = match job {
+                Some(j) if self.jobs.get(j).data_not_started > 0 => Some(now + self.rot_ns),
+                Some(j) => {
+                    let actual = rmw_write_complete(
+                        read_end,
+                        transfer_ns,
+                        self.rot_ns,
+                        self.jobs.get(j).ready,
+                    );
+                    (actual > now).then_some(actual)
+                }
+                None => None,
+            };
+            if let Some(until) = hold_until {
+                self.disks[gdisk as usize].extend_busy(until);
+                self.engine
+                    .schedule_at(until, Ev::DiskDone { gdisk, op: token });
+                return;
+            }
+        }
+
+        let op = self.ops.remove(token);
+        self.in_service[gdisk as usize] = None;
+
+        match op.role {
+            OpRole::HostRead => {
+                // Disk → track buffer done; now the channel transfer to the
+                // host.
+                let tr = self.channels[(gdisk / self.dpa) as usize]
+                    .request(now, op.nblocks as u64 * self.block_bytes);
+                self.request_part_done(op.req.unwrap(), tr.end);
+            }
+            OpRole::HostWrite | OpRole::RmwData => {
+                self.request_part_done(op.req.unwrap(), now);
+            }
+            OpRole::ParityRmw | OpRole::ParityWrite => {
+                if let Some(req) = op.req {
+                    self.request_part_done(req, now);
+                }
+                if let Some(j) = op.job {
+                    self.jobs.get_mut(j).refs -= 1;
+                    self.maybe_free_job(j);
+                }
+            }
+            OpRole::ExtraRead => {
+                if let Some(req) = op.req {
+                    self.request_part_done(req, now);
+                }
+                // Job bookkeeping happened at start.
+            }
+            OpRole::CacheFetch | OpRole::ReconstructRead => {
+                self.request_part_done(op.req.unwrap(), now);
+            }
+            OpRole::Writeback => {
+                if let Some(req) = op.req {
+                    self.request_part_done(req, now);
+                }
+            }
+            OpRole::DestageData => {
+                let dg = op.dgroup.unwrap();
+                self.dgroups.get_mut(dg).remaining -= 1;
+                if self.dgroups.get(dg).remaining == 0 {
+                    let dj = self.dgroups.remove(dg);
+                    let array = (gdisk / self.dpa) as usize;
+                    self.caches[array].destage_complete(&dj.group);
+                }
+            }
+            OpRole::DestageParity => {
+                if let Some(j) = op.job {
+                    self.jobs.get_mut(j).refs -= 1;
+                    self.maybe_free_job(j);
+                }
+            }
+            OpRole::SpoolDrain => {
+                let array = (gdisk / self.dpa) as usize;
+                self.caches[array].release_slots(op.nblocks as usize);
+            }
+        }
+
+        self.try_start(gdisk);
+        if op.role == OpRole::SpoolDrain {
+            self.try_drain_spool(gdisk / self.dpa);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // request completion
+    // ------------------------------------------------------------------
+
+    fn request_part_done(&mut self, req: u32, at: SimTime) {
+        let r = self.reqs.get_mut(req);
+        r.finish = r.finish.max(at);
+        r.pending -= 1;
+        if r.pending == 0 {
+            self.finalize_request(req);
+        }
+    }
+
+    fn finalize_request(&mut self, req: u32) {
+        let mut r = self.reqs.remove(req);
+        if r.tail_channel_bytes > 0 {
+            let tr = self.channels[r.array as usize].request(r.finish, r.tail_channel_bytes);
+            r.finish = tr.end;
+        }
+        let ms = simkit::time::ns_to_ms(r.finish - r.arrive);
+        self.resp_all.push(ms);
+        self.hist.record(ms);
+        self.completed += 1;
+        if r.is_read {
+            self.resp_reads.push(ms);
+            self.completed_reads += 1;
+        } else {
+            self.resp_writes.push(ms);
+            self.completed_writes += 1;
+        }
+        self.inflight -= 1;
+
+        if r.buffers_held > 0 {
+            self.buffers[r.array as usize].release(r.buffers_held);
+            self.admit_waiters(r.array);
+        }
+    }
+
+    fn admit_waiters(&mut self, array: u32) {
+        while let Some(&(idx, needed)) = self.admission_wait[array as usize].front() {
+            if !self.buffers[array as usize].try_acquire(needed) {
+                break;
+            }
+            self.admission_wait[array as usize].pop_front();
+            let rec = self.trace.records[idx];
+            self.process_record(&rec, needed);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // report
+    // ------------------------------------------------------------------
+
+    fn report(&self) -> SimReport {
+        let elapsed_ns = self.engine.now().as_ns();
+        let cache = (!self.caches.is_empty()).then(|| {
+            let mut total = *self.caches[0].stats();
+            for c in &self.caches[1..] {
+                let s = c.stats();
+                total.read_hits += s.read_hits;
+                total.read_misses += s.read_misses;
+                total.write_hits += s.write_hits;
+                total.write_misses += s.write_misses;
+                total.dirty_evictions += s.dirty_evictions;
+                total.overflow_events += s.overflow_events;
+            }
+            total
+        });
+        SimReport {
+            organization: self.cfg.organization.label().to_string(),
+            requests_completed: self.completed,
+            reads_completed: self.completed_reads,
+            writes_completed: self.completed_writes,
+            response_all_ms: self.resp_all,
+            response_reads_ms: self.resp_reads,
+            response_writes_ms: self.resp_writes,
+            histogram_ms: self.hist.clone(),
+            per_disk_accesses: self.disk_counts.clone(),
+            disk_utilization: self
+                .disks
+                .iter()
+                .map(|d| d.utilization(elapsed_ns))
+                .collect(),
+            channel_utilization: self
+                .channels
+                .iter()
+                .map(|c| c.utilization(elapsed_ns))
+                .collect(),
+            cache,
+            spool_peak: self.spools.iter().map(|s| s.peak()).max().unwrap_or(0),
+            spool_merges: self.spools.iter().map(|s| s.merges()).sum(),
+            spool_stalls: self.spool_stalls,
+            disk_ops: self.disk_ops,
+            buffer_waits: self.buffer_waits,
+            elapsed_secs: self.engine.now().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,109 @@
+//! Parallel parameter sweeps.
+//!
+//! Every experiment in the paper is a grid of independent simulations
+//! (organizations × array sizes × cache sizes × …). Runs share nothing, so
+//! they parallelize perfectly across threads.
+
+use crate::config::SimConfig;
+use crate::report::SimReport;
+use crate::sim::Simulator;
+use parking_lot::Mutex;
+use tracegen::Trace;
+
+/// One sweep point: a label plus its configuration and input trace (traces
+/// are shared by reference; generate once, sweep many).
+pub struct NamedRun<'a> {
+    pub label: String,
+    pub config: SimConfig,
+    pub trace: &'a Trace,
+}
+
+impl<'a> NamedRun<'a> {
+    pub fn new(label: impl Into<String>, config: SimConfig, trace: &'a Trace) -> NamedRun<'a> {
+        NamedRun {
+            label: label.into(),
+            config,
+            trace,
+        }
+    }
+}
+
+/// Run every sweep point, `threads`-wide, returning reports in input order.
+/// `threads = 0` uses the machine's available parallelism.
+pub fn run_all(runs: &[NamedRun<'_>], threads: usize) -> Vec<(String, SimReport)> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        threads
+    };
+    let mut out: Vec<Option<(String, SimReport)>> = Vec::with_capacity(runs.len());
+    out.resize_with(runs.len(), || None);
+    let out = Mutex::new(out);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(runs.len().max(1)) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= runs.len() {
+                    break;
+                }
+                let run = &runs[i];
+                let report = Simulator::new(run.config.clone(), run.trace).run();
+                out.lock()[i] = Some((run.label.clone(), report));
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    out.into_inner()
+        .into_iter()
+        .map(|r| r.expect("missing sweep result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Organization;
+    use tracegen::SynthSpec;
+
+    #[test]
+    fn parallel_sweep_matches_serial_runs() {
+        let trace = SynthSpec::trace2().scaled(0.01).generate();
+        let orgs = [
+            Organization::Base,
+            Organization::Mirror,
+            Organization::Raid5 { striping_unit: 1 },
+        ];
+        let runs: Vec<NamedRun> = orgs
+            .iter()
+            .map(|&o| NamedRun::new(o.label(), SimConfig::with_organization(o), &trace))
+            .collect();
+        let parallel = run_all(&runs, 3);
+        assert_eq!(parallel.len(), 3);
+        for (i, &org) in orgs.iter().enumerate() {
+            let serial = Simulator::new(SimConfig::with_organization(org), &trace).run();
+            assert_eq!(parallel[i].0, org.label());
+            assert_eq!(
+                parallel[i].1.mean_response_ms(),
+                serial.mean_response_ms(),
+                "parallel run must be bit-identical to serial for {}",
+                org.label()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_threads_uses_default_parallelism() {
+        let trace = SynthSpec::trace2().scaled(0.002).generate();
+        let runs = vec![NamedRun::new(
+            "base",
+            SimConfig::with_organization(Organization::Base),
+            &trace,
+        )];
+        let out = run_all(&runs, 0);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].1.requests_completed > 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Future-event list: a binary-heap priority queue keyed on
+//! ([`SimTime`], insertion sequence) with tombstone cancellation.
+//!
+//! Ties are broken by insertion order so that two events scheduled for the
+//! same instant fire in the order they were scheduled. This determinism
+//! matters: disk-array response times are sensitive to who wins a
+//! simultaneous arrival at a queue.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Opaque handle to a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Min-heap ordering: earliest time first, then lowest sequence number.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so BinaryHeap (a max-heap) pops the earliest entry.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Priority queue of future events.
+///
+/// `pop` returns events in nondecreasing time order; events with equal
+/// timestamps come out in scheduling order. `cancel` is O(1) amortized: the
+/// entry stays in the heap but is skipped when popped.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        EventId(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (i.e. not yet popped or already cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Remove and return the earliest pending event, skipping tombstones.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            return Some((entry.at, entry.event));
+        }
+        None
+    }
+
+    /// Timestamp of the earliest pending event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drain leading tombstones so the peeked time is a live event.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.at);
+            }
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ms(5), "c");
+        q.schedule(SimTime::from_ms(1), "a");
+        q.schedule(SimTime::from_ms(3), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_ms(1), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_ms(3), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_ms(5), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ms(2);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_ms(1), "a");
+        q.schedule(SimTime::from_ms(2), "b");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_ms(2), "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_noop() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_tombstones() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_ms(1), "a");
+        q.schedule(SimTime::from_ms(9), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(9)));
+        assert_eq!(q.pop(), Some((SimTime::from_ms(9), "b")));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    proptest! {
+        /// Popped timestamps are nondecreasing, and every scheduled,
+        /// non-cancelled event comes out exactly once.
+        #[test]
+        fn prop_time_order_and_completeness(
+            times in proptest::collection::vec(0u64..10_000, 1..200),
+            cancel_mask in proptest::collection::vec(any::<bool>(), 1..200),
+        ) {
+            let mut q = EventQueue::new();
+            let mut ids = Vec::new();
+            for (i, &t) in times.iter().enumerate() {
+                ids.push((q.schedule(SimTime::from_ns(t), i), t));
+            }
+            let mut live = Vec::new();
+            for (i, (id, t)) in ids.into_iter().enumerate() {
+                if *cancel_mask.get(i).unwrap_or(&false) {
+                    prop_assert!(q.cancel(id));
+                } else {
+                    live.push((t, i));
+                }
+            }
+            let mut out = Vec::new();
+            let mut last = SimTime::ZERO;
+            while let Some((at, idx)) = q.pop() {
+                prop_assert!(at >= last);
+                last = at;
+                out.push((at.as_ns(), idx));
+            }
+            live.sort();
+            out.sort();
+            prop_assert_eq!(live, out);
+        }
+    }
+}

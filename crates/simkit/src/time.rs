@@ -1,0 +1,188 @@
+//! Integer-nanosecond simulation time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in integer nanoseconds from the start
+/// of the run.
+///
+/// All model arithmetic (seek times, rotation periods, transfer times) is
+/// carried out in `u64` nanoseconds so that simulations are exactly
+/// reproducible. Durations are plain `u64` nanosecond counts; use the
+/// `from_*`/`as_*` helpers at the model boundary only.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+pub const NS_PER_US: u64 = 1_000;
+pub const NS_PER_MS: u64 = 1_000_000;
+pub const NS_PER_SEC: u64 = 1_000_000_000;
+
+impl SimTime {
+    /// Time zero: the start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable time; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from whole nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * NS_PER_US)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * NS_PER_MS)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * NS_PER_SEC)
+    }
+
+    /// Construct from fractional milliseconds, rounding to the nearest
+    /// nanosecond. Intended for configuration values (e.g. "11.2 ms average
+    /// seek"), not for hot-path arithmetic.
+    #[inline]
+    pub fn from_ms_f64(ms: f64) -> Self {
+        debug_assert!(ms >= 0.0 && ms.is_finite());
+        SimTime((ms * NS_PER_MS as f64).round() as u64)
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Value in fractional milliseconds (for reporting only).
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / NS_PER_MS as f64
+    }
+
+    /// Value in fractional seconds (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NS_PER_SEC as f64
+    }
+
+    /// Saturating difference `self - earlier` in nanoseconds.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Checked difference in nanoseconds; `None` if `earlier` is later.
+    #[inline]
+    pub fn checked_since(self, earlier: SimTime) -> Option<u64> {
+        self.0.checked_sub(earlier.0)
+    }
+}
+
+/// Convert a nanosecond duration to fractional milliseconds (reporting only).
+#[inline]
+pub fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / NS_PER_MS as f64
+}
+
+/// Convert fractional milliseconds to a nanosecond duration, rounding.
+#[inline]
+pub fn ms_to_ns(ms: f64) -> u64 {
+    debug_assert!(ms >= 0.0 && ms.is_finite());
+    (ms * NS_PER_MS as f64).round() as u64
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, dur_ns: u64) -> SimTime {
+        SimTime(self.0 + dur_ns)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, dur_ns: u64) {
+        self.0 += dur_ns;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+    /// Duration in nanoseconds; panics in debug builds on negative spans.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> u64 {
+        debug_assert!(self.0 >= rhs.0, "negative SimTime span");
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}ms", self.as_ms_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_ms(3).as_ns(), 3_000_000);
+        assert_eq!(SimTime::from_us(7).as_ns(), 7_000);
+        assert_eq!(SimTime::from_secs(2).as_ns(), 2_000_000_000);
+        assert_eq!(SimTime::from_ms(5).as_ms_f64(), 5.0);
+        assert_eq!(SimTime::from_secs(4).as_secs_f64(), 4.0);
+    }
+
+    #[test]
+    fn fractional_ms_rounds_to_nearest_ns() {
+        assert_eq!(SimTime::from_ms_f64(11.2).as_ns(), 11_200_000);
+        assert_eq!(SimTime::from_ms_f64(0.0000005).as_ns(), 1); // 0.5ns rounds up
+        assert_eq!(ms_to_ns(1.5), 1_500_000);
+        assert_eq!(ns_to_ms(250_000), 0.25);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ms(10);
+        assert_eq!((t + 500).as_ns(), 10_000_500);
+        let mut u = t;
+        u += 1_000;
+        assert_eq!(u.as_ns(), 10_001_000);
+        assert_eq!(u - t, 1_000);
+        assert_eq!(t.saturating_since(u), 0);
+        assert_eq!(u.saturating_since(t), 1_000);
+        assert_eq!(t.checked_since(u), None);
+        assert_eq!(u.checked_since(t), Some(1_000));
+    }
+
+    #[test]
+    fn ordering_and_sentinels() {
+        assert!(SimTime::ZERO < SimTime::from_ns(1));
+        assert!(SimTime::from_secs(1) < SimTime::MAX);
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn display_formats_in_ms() {
+        assert_eq!(format!("{}", SimTime::from_ms_f64(11.2)), "11.200ms");
+        assert_eq!(format!("{:?}", SimTime::from_us(1)), "0.001000ms");
+    }
+}

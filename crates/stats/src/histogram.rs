@@ -1,0 +1,161 @@
+//! Fixed-width-bin histogram with percentile queries.
+
+use serde::{Deserialize, Serialize};
+
+/// Histogram over `[0, bin_width × bins)` with an overflow bucket.
+///
+/// Used for response-time distributions: values are in milliseconds with a
+/// default resolution of 0.1 ms up to 2 s, which comfortably covers the
+/// paper's response-time range (10–100 ms).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Histogram {
+    bin_width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    pub fn new(bin_width: f64, bins: usize) -> Histogram {
+        assert!(bin_width > 0.0 && bins > 0);
+        Histogram {
+            bin_width,
+            counts: vec![0; bins],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// 0.1 ms bins up to 2000 ms.
+    pub fn response_time_ms() -> Histogram {
+        Histogram::new(0.1, 20_000)
+    }
+
+    #[inline]
+    pub fn record(&mut self, value: f64) {
+        debug_assert!(value >= 0.0);
+        let idx = (value / self.bin_width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.total += 1;
+    }
+
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    #[inline]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Value at quantile `q ∈ [0, 1]`, reported as the upper edge of the bin
+    /// containing the q-th observation. Returns 0 for an empty histogram and
+    /// the overflow threshold if the quantile lands in the overflow bucket.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (i + 1) as f64 * self.bin_width;
+            }
+        }
+        self.counts.len() as f64 * self.bin_width
+    }
+
+    /// Merge another histogram with identical shape.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bin_width, other.bin_width);
+        assert_eq!(self.counts.len(), other.counts.len());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_quantile_is_zero() {
+        let h = Histogram::new(1.0, 10);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_fill() {
+        let mut h = Histogram::new(1.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        assert_eq!(h.count(), 100);
+        // Median: the 50th observation sits in bin 49 ⇒ upper edge 50.
+        assert_eq!(h.quantile(0.5), 50.0);
+        assert_eq!(h.quantile(0.99), 99.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+        // q=0 returns the bin of the first observation.
+        assert_eq!(h.quantile(0.0), 1.0);
+    }
+
+    #[test]
+    fn overflow_bucket() {
+        let mut h = Histogram::new(1.0, 10);
+        h.record(5.0);
+        h.record(1e9);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(1.0), 10.0, "overflow reports the threshold");
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let mut a = Histogram::new(0.5, 4);
+        let mut b = Histogram::new(0.5, 4);
+        a.record(0.1);
+        b.record(0.1);
+        b.record(1.9);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.quantile(1.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_rejects_mismatched_shape() {
+        let mut a = Histogram::new(0.5, 4);
+        let b = Histogram::new(1.0, 4);
+        a.merge(&b);
+    }
+
+    proptest! {
+        /// Histogram quantiles bracket exact sample quantiles to bin width.
+        #[test]
+        fn prop_quantile_accuracy(
+            mut xs in proptest::collection::vec(0.0f64..100.0, 1..500),
+            q in 0.01f64..1.0,
+        ) {
+            let mut h = Histogram::new(0.1, 2000);
+            for &x in &xs { h.record(x); }
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let rank = ((q * xs.len() as f64).ceil() as usize).max(1) - 1;
+            let exact = xs[rank];
+            let est = h.quantile(q);
+            prop_assert!(est >= exact - 1e-9, "estimate {est} below exact {exact}");
+            prop_assert!(est <= exact + 0.1 + 1e-9, "estimate {est} above bin bound of {exact}");
+        }
+    }
+}

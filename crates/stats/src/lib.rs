@@ -1,0 +1,18 @@
+//! # raidtp-stats — measurement plumbing for the simulator
+//!
+//! * [`Welford`] — numerically stable streaming mean/variance.
+//! * [`Histogram`] — fixed-width-bin latency histogram with percentile
+//!   queries (used for response-time distributions).
+//! * [`DiskCounters`] — per-disk access counts with imbalance metrics
+//!   (reproduces Figures 6–7, the access-skew plots).
+//! * [`table`] — fixed-width text tables for experiment output.
+
+pub mod counters;
+pub mod histogram;
+pub mod table;
+pub mod welford;
+
+pub use counters::DiskCounters;
+pub use histogram::Histogram;
+pub use table::Table;
+pub use welford::Welford;

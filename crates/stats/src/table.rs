@@ -1,0 +1,160 @@
+//! Fixed-width text tables for experiment output.
+
+use std::fmt::Write as _;
+
+/// Builder for an aligned, plain-text table. Numeric-looking cells are
+/// right-aligned, text cells left-aligned.
+///
+/// ```
+/// use raidtp_stats::Table;
+/// let mut t = Table::new(&["org", "resp (ms)"]);
+/// t.row(&["Base".into(), "24.31".into()]);
+/// t.row(&["RAID5".into(), "32.10".into()]);
+/// let s = t.render();
+/// assert!(s.contains("Base"));
+/// assert!(s.lines().count() >= 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header arity.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity does not match header"
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience: append a row of displayable values.
+    pub fn row_of<D: std::fmt::Display>(&mut self, cells: &[D]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with a header rule and column alignment.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        // A column is right-aligned if every data cell parses as a number.
+        let numeric: Vec<bool> = (0..cols)
+            .map(|i| {
+                !self.rows.is_empty()
+                    && self
+                        .rows
+                        .iter()
+                        .all(|r| r[i].trim().parse::<f64>().is_ok() || r[i].trim() == "-")
+            })
+            .collect();
+
+        let mut out = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            // Headers share the data alignment for visual continuity.
+            if numeric[i] {
+                let _ = write!(out, "{:>width$}", h, width = widths[i]);
+            } else {
+                let _ = write!(out, "{:<width$}", h, width = widths[i]);
+            }
+        }
+        out.push('\n');
+        for (i, w) in widths.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&"-".repeat(*w));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if numeric[i] {
+                    let _ = write!(out, "{:>width$}", cell, width = widths[i]);
+                } else {
+                    let _ = write!(out, "{:<width$}", cell, width = widths[i]);
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a millisecond value for tables.
+pub fn ms(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+/// Format a ratio/percentage for tables.
+pub fn pct(value: f64) -> String {
+    format!("{:.1}", value * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["longer-name".into(), "1.5".into()]);
+        t.row(&["x".into(), "12345.0".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w || l.trim_end().len() <= w));
+        // Numeric column right-aligned.
+        assert!(lines[2].ends_with("1.5"));
+        assert!(lines[3].ends_with("12345.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn rejects_wrong_arity() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn row_of_displayables() {
+        let mut t = Table::new(&["n", "sq"]);
+        t.row_of(&[2, 4]);
+        t.row_of(&[3, 9]);
+        assert!(t.render().contains('9'));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(12.3456), "12.35");
+        assert_eq!(pct(0.123), "12.3");
+    }
+}

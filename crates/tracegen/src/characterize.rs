@@ -1,0 +1,161 @@
+//! Trace characterization: recomputes the paper's Table 2 from any trace.
+
+use crate::record::Trace;
+use serde::{Deserialize, Serialize};
+
+/// The statistics Table 2 reports, plus the skew metric Figures 6–7 plot.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    pub duration_secs: f64,
+    pub n_disks: u32,
+    pub io_accesses: u64,
+    pub blocks_transferred: u64,
+    pub single_block_reads: u64,
+    pub single_block_writes: u64,
+    pub multiblock_reads: u64,
+    pub multiblock_writes: u64,
+    /// Per-logical-disk request counts.
+    pub per_disk: Vec<u64>,
+}
+
+impl TraceStats {
+    pub fn of(trace: &Trace) -> TraceStats {
+        let mut s = TraceStats {
+            duration_secs: trace.duration().as_secs_f64(),
+            n_disks: trace.n_disks,
+            per_disk: vec![0; trace.n_disks as usize],
+            ..TraceStats::default()
+        };
+        for r in &trace.records {
+            s.io_accesses += 1;
+            s.blocks_transferred += r.nblocks as u64;
+            s.per_disk[r.disk as usize] += 1;
+            match (r.is_read(), r.is_multiblock()) {
+                (true, false) => s.single_block_reads += 1,
+                (false, false) => s.single_block_writes += 1,
+                (true, true) => s.multiblock_reads += 1,
+                (false, true) => s.multiblock_writes += 1,
+            }
+        }
+        s
+    }
+
+    pub fn reads(&self) -> u64 {
+        self.single_block_reads + self.multiblock_reads
+    }
+
+    pub fn writes(&self) -> u64 {
+        self.single_block_writes + self.multiblock_writes
+    }
+
+    /// Fraction of requests that are writes.
+    pub fn write_fraction(&self) -> f64 {
+        if self.io_accesses == 0 {
+            0.0
+        } else {
+            self.writes() as f64 / self.io_accesses as f64
+        }
+    }
+
+    /// Fraction of requests that touch a single block.
+    pub fn single_block_fraction(&self) -> f64 {
+        if self.io_accesses == 0 {
+            0.0
+        } else {
+            (self.single_block_reads + self.single_block_writes) as f64 / self.io_accesses as f64
+        }
+    }
+
+    /// Mean request arrival rate, I/Os per second.
+    pub fn arrival_rate(&self) -> f64 {
+        if self.duration_secs == 0.0 {
+            0.0
+        } else {
+            self.io_accesses as f64 / self.duration_secs
+        }
+    }
+
+    /// Coefficient of variation of per-disk request counts (access skew).
+    pub fn disk_skew_cv(&self) -> f64 {
+        if self.per_disk.is_empty() {
+            return 0.0;
+        }
+        let mean = self.io_accesses as f64 / self.per_disk.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .per_disk
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / self.per_disk.len() as f64;
+        var.sqrt() / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthSpec;
+
+    #[test]
+    fn trace1_stats_match_table2_proportions() {
+        let spec = SynthSpec::trace1().scaled(0.03);
+        let s = TraceStats::of(&spec.generate());
+        assert_eq!(s.n_disks, 130);
+        // Table 2: ~98% single-block, 10% writes for Trace 1.
+        assert!(
+            (s.single_block_fraction() - 0.9787).abs() < 0.01,
+            "single-block fraction {}",
+            s.single_block_fraction()
+        );
+        assert!(
+            (s.write_fraction() - 0.1003).abs() < 0.01,
+            "write fraction {}",
+            s.write_fraction()
+        );
+        // Blocks per I/O ≈ 1.33.
+        let bpi = s.blocks_transferred as f64 / s.io_accesses as f64;
+        assert!((bpi - 1.33).abs() < 0.12, "blocks per I/O {bpi}");
+    }
+
+    #[test]
+    fn trace2_stats_match_table2_proportions() {
+        let s = TraceStats::of(&SynthSpec::trace2().generate());
+        assert_eq!(s.n_disks, 10);
+        // Table 2: ~95% single-block, 28% writes for Trace 2.
+        assert!(
+            (s.single_block_fraction() - 0.9406).abs() < 0.01,
+            "single-block fraction {}",
+            s.single_block_fraction()
+        );
+        assert!(
+            (s.write_fraction() - 0.2827).abs() < 0.01,
+            "write fraction {}",
+            s.write_fraction()
+        );
+        let bpi = s.blocks_transferred as f64 / s.io_accesses as f64;
+        assert!((bpi - 2.06).abs() < 0.25, "blocks per I/O {bpi}");
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let s = TraceStats::of(&SynthSpec::trace2().scaled(0.1).generate());
+        assert_eq!(s.reads() + s.writes(), s.io_accesses);
+        assert_eq!(s.per_disk.iter().sum::<u64>(), s.io_accesses);
+        assert!(s.blocks_transferred >= s.io_accesses);
+        assert!(s.arrival_rate() > 0.0);
+        assert!(s.disk_skew_cv() > 0.0);
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let s = TraceStats::of(&Trace::new(3, 10));
+        assert_eq!(s.io_accesses, 0);
+        assert_eq!(s.write_fraction(), 0.0);
+        assert_eq!(s.single_block_fraction(), 0.0);
+        assert_eq!(s.arrival_rate(), 0.0);
+        assert_eq!(s.disk_skew_cv(), 0.0);
+    }
+}

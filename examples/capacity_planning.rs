@@ -1,0 +1,78 @@
+//! Capacity planning: find the cheapest RAID5 configuration meeting a
+//! latency SLO.
+//!
+//! Sweeps array size and controller-cache size in parallel
+//! ([`raidsim::sweep::run_all`]) and reports every configuration that keeps
+//! p95 response time under the target, cheapest (fewest disks, least RAM)
+//! first — the "how big an array and how much NVRAM do I buy" question.
+//!
+//! ```text
+//! cargo run --release -p raidsim --example capacity_planning
+//! ```
+
+use raidsim::{sweep, CacheConfig, Organization, SimConfig};
+use raidtp_stats::Table;
+use tracegen::SynthSpec;
+
+const SLO_P95_MS: f64 = 40.0;
+
+fn main() {
+    let trace = SynthSpec::trace2().scaled(0.5).generate();
+    println!(
+        "SLO: p95 ≤ {SLO_P95_MS} ms on a {}-request burst-heavy OLTP workload\n",
+        trace.len()
+    );
+
+    let mut runs = Vec::new();
+    for n in [5u32, 10, 20] {
+        for cache_mb in [0u64, 8, 16, 64] {
+            let mut cfg = SimConfig::with_organization(Organization::Raid5 { striping_unit: 1 });
+            cfg.data_disks_per_array = n;
+            cfg.cache = (cache_mb > 0).then(|| CacheConfig {
+                size_mb: cache_mb,
+                ..CacheConfig::default()
+            });
+            let disks = cfg.total_disks(trace.n_disks);
+            runs.push((
+                disks,
+                cache_mb,
+                n,
+                sweep::NamedRun::new(format!("N={n} cache={cache_mb}MB"), cfg, &trace),
+            ));
+        }
+    }
+    let named: Vec<sweep::NamedRun> = runs.iter().map(|(_, _, _, r)| {
+        sweep::NamedRun::new(r.label.clone(), r.config.clone(), r.trace)
+    }).collect();
+    let reports = sweep::run_all(&named, 0);
+
+    let mut table = Table::new(&["config", "disks", "mean ms", "p95 ms", "meets SLO"]);
+    let mut rows: Vec<(u32, u64, String, f64, f64)> = reports
+        .into_iter()
+        .zip(&runs)
+        .map(|((label, rep), (disks, cache_mb, _, _))| {
+            (*disks, *cache_mb, label, rep.mean_response_ms(), rep.quantile_ms(0.95))
+        })
+        .collect();
+    // Cheapest first: fewest disks, then least cache.
+    rows.sort_by_key(|a| (a.0, a.1));
+    let mut pick: Option<String> = None;
+    for (disks, _cache, label, mean, p95) in rows {
+        let ok = p95 <= SLO_P95_MS;
+        if ok && pick.is_none() {
+            pick = Some(label.clone());
+        }
+        table.row(&[
+            label,
+            disks.to_string(),
+            format!("{mean:.2}"),
+            format!("{p95:.1}"),
+            if ok { "yes".into() } else { "no".into() },
+        ]);
+    }
+    print!("{}", table.render());
+    match pick {
+        Some(cfg) => println!("\ncheapest configuration meeting the SLO: {cfg}"),
+        None => println!("\nno swept configuration meets the SLO — add spindles or cache"),
+    }
+}

@@ -1,0 +1,38 @@
+//! Quickstart: simulate one OLTP workload against two disk-array
+//! organizations and compare response times.
+//!
+//! ```text
+//! cargo run --release -p raidsim --example quickstart
+//! ```
+
+use raidsim::{Organization, SimConfig, Simulator};
+use tracegen::SynthSpec;
+
+fn main() {
+    // A scaled-down version of the paper's high-skew Trace 2 workload:
+    // 10 logical data disks, 28% writes, bursty arrivals.
+    let trace = SynthSpec::trace2().scaled(0.25).generate();
+    println!(
+        "workload: {} requests over {:.0} s on {} logical disks\n",
+        trace.len(),
+        trace.duration().as_secs_f64(),
+        trace.n_disks
+    );
+
+    for org in [
+        Organization::Base,
+        Organization::Raid5 { striping_unit: 1 },
+    ] {
+        // Table 4 defaults: N = 10 data disks per array, Disk First
+        // synchronization, no controller cache.
+        let config = SimConfig::with_organization(org);
+        let report = Simulator::new(config, &trace).run();
+        println!("{}", report.summary());
+    }
+
+    println!(
+        "\nRAID5 stores parity for media recovery at 1/N storage overhead; on a \
+         skewed workload its striping also balances load, which is why it can \
+         beat the unprotected Base organization here (paper, Section 4.2)."
+    );
+}

@@ -1,0 +1,188 @@
+//! Cross-crate integration: trace generation → simulation → reporting for
+//! every organization and controller type.
+
+use raidsim::{CacheConfig, Organization, ParityPlacement, SimConfig, Simulator};
+use tracegen::{SynthSpec, TraceStats};
+
+fn all_orgs() -> Vec<Organization> {
+    vec![
+        Organization::Base,
+        Organization::Mirror,
+        Organization::Raid5 { striping_unit: 1 },
+        Organization::Raid5 { striping_unit: 8 },
+        Organization::Raid4 { striping_unit: 1 },
+        Organization::ParityStriping {
+            placement: ParityPlacement::Middle,
+        },
+        Organization::ParityStriping {
+            placement: ParityPlacement::End,
+        },
+    ]
+}
+
+#[test]
+fn every_org_and_controller_completes_both_workloads() {
+    let traces = [
+        SynthSpec::trace1().scaled(0.003).generate(),
+        SynthSpec::trace2().scaled(0.1).generate(),
+    ];
+    for trace in &traces {
+        for org in all_orgs() {
+            for cache in [None, Some(CacheConfig::default())] {
+                let mut cfg = SimConfig::with_organization(org);
+                cfg.cache = cache;
+                let r = Simulator::new(cfg, trace).run();
+                assert_eq!(
+                    r.requests_completed,
+                    trace.len() as u64,
+                    "{} cached={} lost requests",
+                    org.label(),
+                    cache.is_some()
+                );
+                assert_eq!(r.reads_completed + r.writes_completed, r.requests_completed);
+                assert!(r.mean_response_ms() > 0.0);
+                assert!(r.elapsed_secs > 0.0);
+                assert!(r.disk_ops > 0 || cache.is_some());
+            }
+        }
+    }
+}
+
+#[test]
+fn physical_access_counts_account_for_redundancy() {
+    // A write-only workload: Mirror must do 2 physical writes per request,
+    // RAID5 exactly 2 accesses (data RMW + parity RMW) per single-block
+    // write, Base exactly 1.
+    let mut spec = SynthSpec::trace2().scaled(0.05);
+    spec.write_fraction = 1.0;
+    spec.multiblock_write_fraction = 0.0;
+    spec.multiblock_read_fraction = 0.0;
+    let trace = spec.generate();
+    let n = trace.len() as u64;
+
+    let count = |org| {
+        Simulator::new(SimConfig::with_organization(org), &trace)
+            .run()
+            .disk_ops
+    };
+    assert_eq!(count(Organization::Base), n);
+    assert_eq!(count(Organization::Mirror), 2 * n);
+    assert_eq!(count(Organization::Raid5 { striping_unit: 1 }), 2 * n);
+    assert_eq!(
+        count(Organization::ParityStriping {
+            placement: ParityPlacement::Middle
+        }),
+        2 * n
+    );
+}
+
+#[test]
+fn reports_are_deterministic_across_runs() {
+    let trace = SynthSpec::trace2().scaled(0.05).generate();
+    for org in all_orgs() {
+        let mut cfg = SimConfig::with_organization(org);
+        cfg.cache = Some(CacheConfig::default());
+        let a = Simulator::new(cfg.clone(), &trace).run();
+        let b = Simulator::new(cfg, &trace).run();
+        assert_eq!(a.response_all_ms.mean(), b.response_all_ms.mean());
+        assert_eq!(a.per_disk_accesses.counts(), b.per_disk_accesses.counts());
+        assert_eq!(a.disk_ops, b.disk_ops);
+    }
+}
+
+#[test]
+fn trace_statistics_survive_the_pipeline() {
+    // The stats tooling and the simulator agree on what the trace contains.
+    let trace = SynthSpec::trace2().scaled(0.1).generate();
+    let stats = TraceStats::of(&trace);
+    let r = Simulator::new(SimConfig::with_organization(Organization::Base), &trace).run();
+    assert_eq!(r.requests_completed, stats.io_accesses);
+    assert_eq!(r.reads_completed, stats.reads());
+    assert_eq!(r.writes_completed, stats.writes());
+}
+
+#[test]
+fn multiple_arrays_partition_the_database() {
+    // Trace 1 has 130 logical disks; at N = 10 that is 13 independent
+    // arrays. Physical accesses must land in every array.
+    let trace = SynthSpec::trace1().scaled(0.003).generate();
+    let cfg = SimConfig::with_organization(Organization::Raid5 { striping_unit: 1 });
+    assert_eq!(cfg.arrays_for(trace.n_disks), 13);
+    let r = Simulator::new(cfg, &trace).run();
+    assert_eq!(r.per_disk_accesses.counts().len(), 13 * 11);
+    let arrays_touched = r
+        .per_disk_accesses
+        .counts()
+        .chunks(11)
+        .filter(|c| c.iter().sum::<u64>() > 0)
+        .count();
+    assert_eq!(arrays_touched, 13, "every array should see traffic");
+}
+
+#[test]
+fn utilization_scales_with_trace_speed() {
+    let spec = SynthSpec::trace2().scaled(0.1);
+    let normal = spec.clone().generate();
+    let fast = spec.at_speed(2.0).generate();
+    let run = |t| {
+        Simulator::new(
+            SimConfig::with_organization(Organization::Raid5 { striping_unit: 1 }),
+            t,
+        )
+        .run()
+    };
+    let (rn, rf) = (run(&normal), run(&fast));
+    // Same work in half the time: utilization roughly doubles.
+    let ratio = rf.mean_disk_utilization() / rn.mean_disk_utilization();
+    assert!(
+        (1.5..=2.6).contains(&ratio),
+        "utilization ratio {ratio} (expected ≈2)"
+    );
+}
+
+#[test]
+fn simulator_matches_the_mg1_oracle_under_its_assumptions() {
+    // Force the workload into M/G/1 territory: Poisson arrivals (no
+    // bursts), uniformly random single-block reads, no locality — then the
+    // Base organization's simulated mean response must land on the
+    // Pollaczek–Khinchine prediction.
+    for rate_per_disk in [5.0f64, 20.0, 35.0] {
+        let mut spec = SynthSpec::trace2();
+        spec.n_requests = 60_000;
+        spec.duration_secs = spec.n_requests as f64 / (rate_per_disk * 10.0);
+        spec.write_fraction = 0.0;
+        spec.multiblock_read_fraction = 0.0;
+        spec.multiblock_write_fraction = 0.0;
+        spec.disk_skew_theta = 0.0;
+        spec.cold_prob = 1.0; // uniform extents
+        spec.reref_prob = 0.0;
+        spec.write_after_read_prob = 0.0;
+        spec.sequential_run_prob = 0.0;
+        spec.busy_speedup = 1.0; // plain Poisson
+        let trace = spec.generate();
+
+        let cfg = SimConfig::with_organization(Organization::Base);
+        let predicted = raidsim::analytic::mg1_base_read_response(&cfg, rate_per_disk);
+        let simulated = Simulator::new(cfg, &trace).run();
+
+        let rel = (simulated.mean_response_ms() - predicted.response_ms).abs()
+            / predicted.response_ms;
+        assert!(
+            rel < 0.08,
+            "rate {rate_per_disk}/s/disk: simulated {:.2} ms vs M/G/1 {:.2} ms ({:.1}% off, ρ={:.2})",
+            simulated.mean_response_ms(),
+            predicted.response_ms,
+            rel * 100.0,
+            predicted.utilization,
+        );
+        // Utilization agrees too.
+        let rel_u =
+            (simulated.mean_disk_utilization() - predicted.utilization).abs() / predicted.utilization;
+        assert!(
+            rel_u < 0.08,
+            "utilization: simulated {:.3} vs predicted {:.3}",
+            simulated.mean_disk_utilization(),
+            predicted.utilization
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! The paper's headline claims, checked at reduced scale.
+//!
+//! These are *directional* assertions (who wins, where the gaps open);
+//! absolute milliseconds live in EXPERIMENTS.md.
+
+use raidsim::{CacheConfig, Organization, ParityPlacement, SimConfig, Simulator, SimReport};
+use tracegen::{SynthSpec, Trace};
+
+fn trace1() -> Trace {
+    SynthSpec::trace1().scaled(0.01).generate()
+}
+
+fn trace2() -> Trace {
+    SynthSpec::trace2().scaled(0.5).generate()
+}
+
+fn run(org: Organization, cache_mb: Option<u64>, n: u32, trace: &Trace) -> SimReport {
+    let mut cfg = SimConfig::with_organization(org);
+    cfg.data_disks_per_array = n;
+    cfg.cache = cache_mb.map(|size_mb| CacheConfig {
+        size_mb,
+        ..CacheConfig::default()
+    });
+    Simulator::new(cfg, trace).run()
+}
+
+const RAID5: Organization = Organization::Raid5 { striping_unit: 1 };
+const RAID4: Organization = Organization::Raid4 { striping_unit: 1 };
+const PARSTRIP: Organization = Organization::ParityStriping {
+    placement: ParityPlacement::Middle,
+};
+
+#[test]
+fn mirrors_beat_base_on_both_traces() {
+    // Section 4.2: "the overall performance of mirrors is better than the
+    // Base organization" (12% on Trace 1, 25% on Trace 2 at N = 10).
+    for trace in [trace1(), trace2()] {
+        let base = run(Organization::Base, None, 10, &trace);
+        let mirror = run(Organization::Mirror, None, 10, &trace);
+        assert!(
+            mirror.mean_response_ms() < base.mean_response_ms(),
+            "mirror {:.2} vs base {:.2}",
+            mirror.mean_response_ms(),
+            base.mean_response_ms()
+        );
+    }
+}
+
+#[test]
+fn noncached_raid5_pays_the_write_penalty_on_trace1() {
+    // Section 4.2: for Trace 1 (low skew, 10% writes) non-cached RAID5 is
+    // significantly worse than Base (paper: 32% at N = 10).
+    let t = trace1();
+    let base = run(Organization::Base, None, 10, &t);
+    let raid5 = run(RAID5, None, 10, &t);
+    let penalty = raid5.mean_response_ms() / base.mean_response_ms();
+    assert!(
+        penalty > 1.05,
+        "RAID5/Base = {penalty:.3}, expected a visible write penalty"
+    );
+}
+
+#[test]
+fn noncached_raid5_beats_base_on_skewed_trace2() {
+    // Section 4.2: "in cases of high disk access skew such as in Trace 2,
+    // RAID5 may outperform non-striped systems by balancing the load".
+    let t = trace2();
+    let base = run(Organization::Base, None, 10, &t);
+    let raid5 = run(RAID5, None, 10, &t);
+    assert!(
+        raid5.mean_response_ms() < base.mean_response_ms(),
+        "raid5 {:.2} vs base {:.2}",
+        raid5.mean_response_ms(),
+        base.mean_response_ms()
+    );
+}
+
+#[test]
+fn raid5_beats_parity_striping_under_skew() {
+    // Conclusion: "RAID5 outperforms Parity Striping in all cases because
+    // of its load balancing capabilities." The mechanism is load balancing,
+    // so it shows wherever disks queue — robustly on the high-skew Trace 2.
+    // (On our synthetic Trace 1 the utilization is too low for balancing to
+    // pay and Parity Striping's retained seek affinity edges RAID5 out — a
+    // documented deviation, see EXPERIMENTS.md.)
+    let trace = trace2();
+    for cache in [None, Some(16)] {
+        let r5 = run(RAID5, cache, 10, &trace);
+        let ps = run(PARSTRIP, cache, 10, &trace);
+        assert!(
+            r5.mean_response_ms() < ps.mean_response_ms(),
+            "cached={:?}: RAID5 {:.2} vs ParStrip {:.2}",
+            cache,
+            r5.mean_response_ms(),
+            ps.mean_response_ms()
+        );
+    }
+}
+
+#[test]
+fn a_16mb_cache_practically_eliminates_the_raid5_write_penalty() {
+    // Section 4.3.1 / Conclusions: Trace 1 RAID5 goes from ≈32% worse than
+    // Base non-cached to ≈1% worse with a 16 MB cache. Allow a few percent.
+    let t = trace1();
+    let base = run(Organization::Base, Some(16), 10, &t);
+    let raid5 = run(RAID5, Some(16), 10, &t);
+    let gap = raid5.mean_response_ms() / base.mean_response_ms();
+    let uncached_gap =
+        run(RAID5, None, 10, &t).mean_response_ms() / run(Organization::Base, None, 10, &t).mean_response_ms();
+    assert!(
+        gap < uncached_gap,
+        "cache should shrink the RAID5 gap: cached {gap:.3} vs uncached {uncached_gap:.3}"
+    );
+    assert!(gap < 1.10, "cached RAID5/Base = {gap:.3}, expected ≈1");
+}
+
+#[test]
+fn cached_raid5_surpasses_mirrors_on_trace2_small_caches() {
+    // Section 4.3.1: "RAID5 even surpasses mirrored disks for cache sizes
+    // less than 64 MBytes" on Trace 2.
+    let t = trace2();
+    let r5 = run(RAID5, Some(16), 10, &t);
+    let mirror = run(Organization::Mirror, Some(16), 10, &t);
+    assert!(
+        r5.mean_response_ms() <= mirror.mean_response_ms() * 1.05,
+        "RAID5 {:.2} vs Mirror {:.2} at 16 MB",
+        r5.mean_response_ms(),
+        mirror.mean_response_ms()
+    );
+}
+
+#[test]
+fn raid4_parity_caching_beats_raid5_at_n10_on_trace2() {
+    // Section 4.4.1: "For a 16 MByte cache the response time for RAID4 is
+    // 15% shorter than for RAID5" on Trace 2.
+    let t = trace2();
+    let r5 = run(RAID5, Some(16), 10, &t);
+    let r4 = run(RAID4, Some(16), 10, &t);
+    assert!(
+        r4.mean_response_ms() < r5.mean_response_ms(),
+        "RAID4 {:.2} vs RAID5 {:.2}",
+        r4.mean_response_ms(),
+        r5.mean_response_ms()
+    );
+}
+
+#[test]
+fn raid5_beats_raid4_for_small_arrays() {
+    // Section 4.4.2: "For N = 5, RAID5 performs better than RAID4 for both
+    // traces because, with RAID4, fewer disks are available to service read
+    // requests."
+    let t = trace2();
+    let r5 = run(RAID5, Some(8), 5, &t);
+    let r4 = run(RAID4, Some(8), 5, &t);
+    assert!(
+        r5.mean_response_ms() <= r4.mean_response_ms() * 1.02,
+        "N=5: RAID5 {:.2} should be ≤ RAID4 {:.2}",
+        r5.mean_response_ms(),
+        r4.mean_response_ms()
+    );
+}
+
+#[test]
+fn raid5_degrades_gracefully_under_double_load() {
+    // Section 4.2.4: "RAID5 response time degrades gracefully as the load
+    // increases… The response times for Parity Striping and to a lesser
+    // degree that of the Base organization degrade severely."
+    let spec = SynthSpec::trace2().scaled(0.5);
+    let normal = spec.clone().generate();
+    let fast = spec.at_speed(2.0).generate();
+    let deg = |org| {
+        let a = run(org, None, 10, &normal).mean_response_ms();
+        let b = run(org, None, 10, &fast).mean_response_ms();
+        b / a
+    };
+    let raid5_deg = deg(RAID5);
+    let base_deg = deg(Organization::Base);
+    let ps_deg = deg(PARSTRIP);
+    assert!(
+        raid5_deg < base_deg,
+        "RAID5 degradation {raid5_deg:.2} vs Base {base_deg:.2}"
+    );
+    assert!(
+        raid5_deg < ps_deg,
+        "RAID5 degradation {raid5_deg:.2} vs ParStrip {ps_deg:.2}"
+    );
+}
+
+#[test]
+fn write_hit_ratio_exceeds_read_hit_ratio() {
+    // Section 4.3: "The write hit ratio is much higher than the read hit
+    // ratio" (transactions read blocks before updating them).
+    for trace in [trace1(), trace2()] {
+        let r = run(RAID5, Some(16), 10, &trace);
+        assert!(
+            r.write_hit_ratio() > r.read_hit_ratio(),
+            "write hit {:.3} vs read hit {:.3}",
+            r.write_hit_ratio(),
+            r.read_hit_ratio()
+        );
+    }
+}
+
+#[test]
+fn parity_organizations_slightly_depress_hit_ratios() {
+    // Section 4.3: keeping old blocks costs cache space, but "the effect on
+    // hit ratio of keeping the old blocks in the cache is minimal".
+    let t = trace2();
+    let base = run(Organization::Base, Some(16), 10, &t);
+    let raid5 = run(RAID5, Some(16), 10, &t);
+    assert!(raid5.read_hit_ratio() <= base.read_hit_ratio() + 1e-9);
+    assert!(
+        base.read_hit_ratio() - raid5.read_hit_ratio() < 0.05,
+        "difference should be small: {:.4} vs {:.4}",
+        base.read_hit_ratio(),
+        raid5.read_hit_ratio()
+    );
+}
+
+#[test]
+fn raid4_spool_absorbs_parity_traffic_without_deadlock() {
+    // Section 4.4.3: the parity disk queue may grow large, "however, these
+    // heavy load periods are rare… there are sufficient idle periods for
+    // the parity disk to catch up".
+    let t = SynthSpec::trace2().scaled(0.5).at_speed(2.0).generate();
+    let r = run(RAID4, Some(8), 10, &t);
+    assert_eq!(r.requests_completed, t.len() as u64);
+    assert!(r.spool_peak > 0);
+    assert!(
+        r.spool_merges > 0,
+        "hot parity blocks should merge in the spool"
+    );
+}

@@ -1,0 +1,120 @@
+//! Property-based integration tests: randomized miniature workloads must
+//! satisfy the simulator's global invariants for every organization.
+
+use proptest::prelude::*;
+use raidsim::{CacheConfig, Organization, ParityPlacement, SimConfig, Simulator};
+use simkit::SimTime;
+use tracegen::{AccessType, Trace, TraceRecord};
+
+fn arb_org() -> impl Strategy<Value = Organization> {
+    prop_oneof![
+        Just(Organization::Base),
+        Just(Organization::Mirror),
+        (1u32..=4).prop_map(|su| Organization::Raid5 {
+            striping_unit: 1 << su
+        }),
+        Just(Organization::Raid5 { striping_unit: 1 }),
+        Just(Organization::Raid4 { striping_unit: 1 }),
+        Just(Organization::ParityStriping {
+            placement: ParityPlacement::Middle
+        }),
+        Just(Organization::ParityStriping {
+            placement: ParityPlacement::End
+        }),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct RawReq {
+    gap_us: u64,
+    disk: u32,
+    block: u64,
+    nblocks: u32,
+    write: bool,
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    let req = (
+        0u64..50_000,
+        0u32..10,
+        0u64..226_700,
+        1u32..16,
+        any::<bool>(),
+    )
+        .prop_map(|(gap_us, disk, block, nblocks, write)| RawReq {
+            gap_us,
+            disk,
+            block,
+            nblocks,
+            write,
+        });
+    proptest::collection::vec(req, 1..60).prop_map(|reqs| {
+        let mut trace = Trace::new(10, 226_800);
+        let mut now = SimTime::ZERO;
+        for r in reqs {
+            now += r.gap_us * 1_000;
+            let block = r.block.min(226_800 - r.nblocks as u64);
+            trace.records.push(TraceRecord {
+                at: now,
+                disk: r.disk,
+                block,
+                nblocks: r.nblocks,
+                kind: if r.write {
+                    AccessType::Write
+                } else {
+                    AccessType::Read
+                },
+            });
+        }
+        trace
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every request completes exactly once, with a response no earlier
+    /// than physically possible, under any organization and controller.
+    #[test]
+    fn completion_and_response_invariants(
+        org in arb_org(),
+        trace in arb_trace(),
+        cached in any::<bool>(),
+    ) {
+        let mut cfg = SimConfig::with_organization(org);
+        cfg.cache = cached.then(CacheConfig::default);
+        let r = Simulator::new(cfg, &trace).run();
+        prop_assert_eq!(r.requests_completed, trace.len() as u64);
+        prop_assert_eq!(r.reads_completed + r.writes_completed, r.requests_completed);
+        // No response can beat a single 4 KB channel transfer (0.4096 ms).
+        prop_assert!(r.response_all_ms.min() >= 0.4096 - 1e-9,
+            "response {} ms faster than the channel", r.response_all_ms.min());
+        // Histogram and Welford agree on the population size.
+        prop_assert_eq!(r.histogram_ms.count(), r.requests_completed);
+    }
+
+    /// Disk utilizations are valid fractions and redundancy never *reduces*
+    /// the number of physical accesses.
+    #[test]
+    fn utilization_and_accounting(org in arb_org(), trace in arb_trace()) {
+        let cfg = SimConfig::with_organization(org);
+        let r = Simulator::new(cfg, &trace).run();
+        for &u in &r.disk_utilization {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+        }
+        prop_assert!(r.disk_ops >= trace.len() as u64);
+        prop_assert_eq!(r.per_disk_accesses.total(), r.disk_ops);
+    }
+
+    /// Runs are reproducible: the same inputs give byte-identical counters.
+    #[test]
+    fn determinism(org in arb_org(), trace in arb_trace(), cached in any::<bool>()) {
+        let mut cfg = SimConfig::with_organization(org);
+        cfg.cache = cached.then(CacheConfig::default);
+        let a = Simulator::new(cfg.clone(), &trace).run();
+        let b = Simulator::new(cfg, &trace).run();
+        prop_assert_eq!(a.disk_ops, b.disk_ops);
+        prop_assert_eq!(a.response_all_ms.mean(), b.response_all_ms.mean());
+        prop_assert_eq!(a.per_disk_accesses.counts(), b.per_disk_accesses.counts());
+    }
+}
