@@ -19,7 +19,9 @@ fn bench_event_queue(c: &mut Criterion) {
             // Deterministic pseudo-random times.
             let mut t = 0x12345u64;
             for i in 0..10_000u64 {
-                t = t.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                t = t
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 q.schedule(SimTime::from_ns(t >> 20), i);
             }
             let mut last = SimTime::ZERO;

@@ -19,7 +19,12 @@ fn main() {
     let trace = SynthSpec::trace2().generate();
 
     println!("== Ablation: destage period (cached RAID5, Trace 2, 16 MB) ==\n");
-    let mut t = Table::new(&["destage period", "mean ms", "write hit %", "dirty evictions"]);
+    let mut t = Table::new(&[
+        "destage period",
+        "mean ms",
+        "write hit %",
+        "dirty evictions",
+    ]);
     for (label, ms) in [
         ("100 ms", 100u64),
         ("1 s (default)", 1_000),
@@ -58,7 +63,9 @@ fn main() {
     }
     print!("{}", t.render());
 
-    println!("\n== Ablation: multiblock write handling across striping units (RAID5, Trace 2) ==\n");
+    println!(
+        "\n== Ablation: multiblock write handling across striping units (RAID5, Trace 2) ==\n"
+    );
     let mut spec = SynthSpec::trace2();
     spec.multiblock_write_fraction = 0.5; // stress the full/reconstruct/RMW split
     let heavy = spec.generate();

@@ -10,9 +10,7 @@
 //!
 //! Prints the report summary plus the per-disk utilization/access table.
 
-use raidsim::{
-    CacheConfig, Organization, ParityPlacement, SimConfig, Simulator, SyncPolicy,
-};
+use raidsim::{CacheConfig, Organization, ParityPlacement, SimConfig, Simulator, SyncPolicy};
 use tracegen::{fmt, transform, SynthSpec, Trace};
 
 struct Args(Vec<String>);
@@ -32,7 +30,9 @@ impl Args {
 
     fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
         match self.get(name) {
-            Some(v) => v.parse().unwrap_or_else(|_| die(&format!("bad value for {name}: {v}"))),
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| die(&format!("bad value for {name}: {v}"))),
             None => default,
         }
     }
@@ -44,7 +44,8 @@ fn die(msg: &str) -> ! {
         "usage: simulate --org <base|mirror|raid5|raid4|parstrip> [--n N] [--su BLOCKS]\n\
          \t[--placement middle|end|rotated] [--band BLOCKS] [--sync si|rf|rfpr|df|dfpr]\n\
          \t[--cache MB] [--destage MS] [--failed ARRAY:DISK]\n\
-         \t[--trace trace1|trace2] [--trace-file PATH] [--scale F] [--speed F] [--seed N]"
+         \t[--trace trace1|trace2] [--trace-file PATH] [--scale F] [--speed F] [--seed N]\n\
+         \t[--phases] [--sample-ms MS] [--event-log PATH]"
     );
     std::process::exit(2)
 }
@@ -65,7 +66,10 @@ fn main() {
         },
         other => die(&format!("unknown placement {other}")),
     };
-    let org = match args.get("--org").unwrap_or_else(|| die("--org is required")) {
+    let org = match args
+        .get("--org")
+        .unwrap_or_else(|| die("--org is required"))
+    {
         "base" => Organization::Base,
         "mirror" => Organization::Mirror,
         "raid5" => Organization::Raid5 { striping_unit: su },
@@ -100,6 +104,16 @@ fn main() {
             a.parse().unwrap_or_else(|_| die("bad --failed array")),
             d.parse().unwrap_or_else(|_| die("bad --failed disk")),
         ));
+    }
+    if let Some(ms) = args.get("--sample-ms") {
+        cfg.observability.sample_period_ms =
+            Some(ms.parse().unwrap_or_else(|_| die("bad --sample-ms")));
+    }
+    if let Some(path) = args.get("--event-log") {
+        // Fail up front with a clean message rather than mid-run.
+        std::fs::File::create(path)
+            .unwrap_or_else(|e| die(&format!("cannot create event log {path}: {e}")));
+        cfg.observability.event_log = Some(path.into());
     }
     if let Err(e) = cfg.validate() {
         die(&e);
@@ -164,4 +178,30 @@ fn main() {
         report.per_disk_accesses.peak_to_mean(),
         report.max_disk_utilization() * 100.0,
     );
+    if args.flag("--phases") {
+        for (dir, ph) in [
+            ("reads ", &report.phases_reads),
+            ("writes", &report.phases_writes),
+        ] {
+            let parts: Vec<String> = ph
+                .means_ms()
+                .iter()
+                .map(|(label, mean)| format!("{label} {mean:.2}"))
+                .collect();
+            println!(
+                "phases {dir} ({:6.2} ms): {}",
+                ph.mean_total_ms(),
+                parts.join(" | ")
+            );
+        }
+    }
+    if let Some(ts) = &report.timeseries {
+        println!(
+            "timeseries: {} samples x {} columns | mean qdepth.d0 {:.2} | max util.d0 {:.2}",
+            ts.len(),
+            ts.width(),
+            ts.column_mean("qdepth.d0"),
+            ts.column_max("util.d0"),
+        );
+    }
 }

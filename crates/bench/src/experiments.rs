@@ -533,14 +533,23 @@ pub fn degraded(w: &Workloads) {
         ),
         (Organization::Raid4 { striping_unit: 1 }, Some(16)),
     ];
-    let mut t = Table::new(&["organization", "healthy ms", "degraded ms", "ops/req degraded"]);
+    let mut t = Table::new(&[
+        "organization",
+        "healthy ms",
+        "degraded ms",
+        "ops/req degraded",
+    ]);
     for (org, cache) in orgs {
         let healthy = run(cfg(org, 10, cache), &w.trace2);
         let mut c = cfg(org, 10, cache);
         c.failed_disk = Some((0, 0));
         let deg = run(c, &w.trace2);
         t.row(&[
-            format!("{}{}", org.label(), if cache.is_some() { " (cached)" } else { "" }),
+            format!(
+                "{}{}",
+                org.label(),
+                if cache.is_some() { " (cached)" } else { "" }
+            ),
             ms(healthy.mean_response_ms()),
             ms(deg.mean_response_ms()),
             format!("{:.2}", deg.disk_ops as f64 / deg.requests_completed as f64),
@@ -551,7 +560,10 @@ pub fn degraded(w: &Workloads) {
     println!("\n-- degraded RAID5 vs array size (reconstruction fan-out ∝ N) --");
     let mut t = Table::new(&["N", "healthy ms", "degraded ms"]);
     for n in [5u32, 10, 20] {
-        let healthy = run(cfg(Organization::Raid5 { striping_unit: 1 }, n, None), &w.trace2);
+        let healthy = run(
+            cfg(Organization::Raid5 { striping_unit: 1 }, n, None),
+            &w.trace2,
+        );
         let mut c = cfg(Organization::Raid5 { striping_unit: 1 }, n, None);
         c.failed_disk = Some((0, 0));
         let deg = run(c, &w.trace2);
@@ -577,8 +589,14 @@ pub fn finegrain(w: &Workloads) {
     println!("== Extension: fine-grained parity striping (Trace 2) ==\n");
     let variants = [
         ("pinned (middle)", ParityPlacement::Middle),
-        ("rotated, 256-block bands", ParityPlacement::MiddleRotated { band_blocks: 256 }),
-        ("rotated, 1024-block bands", ParityPlacement::MiddleRotated { band_blocks: 1024 }),
+        (
+            "rotated, 256-block bands",
+            ParityPlacement::MiddleRotated { band_blocks: 256 },
+        ),
+        (
+            "rotated, 1024-block bands",
+            ParityPlacement::MiddleRotated { band_blocks: 1024 },
+        ),
     ];
     for (tname, trace) in [
         ("Trace 2", w.trace2.clone()),
@@ -603,6 +621,62 @@ pub fn finegrain(w: &Workloads) {
     }
 }
 
+/// Observability extension: decompose each organization's mean response
+/// time into its phases (admission, channel, disk queue, destage
+/// interference, seek, rotation, transfer, parity). The components sum to
+/// the mean — this is where the paper's *causal* claims become checkable:
+/// the RAID5/RAID4 write penalty should be rotation- and parity-dominated
+/// (the RMW turnaround of Section 3.3), Parity Striping's penalty
+/// seek-dominated (long arm travel to the dedicated parity region), and
+/// cached residual write cost mostly destage interference.
+pub fn breakdown(w: &Workloads) {
+    println!("== Breakdown: response-time decomposition (mean ms per phase) ==\n");
+    let header = [
+        "organization",
+        "dir",
+        "mean",
+        "admit",
+        "chan",
+        "queue",
+        "destage",
+        "seek",
+        "rot",
+        "xfer",
+        "parity",
+    ];
+    let rows_for = |t: &mut Table, label: &str, r: &SimReport| {
+        for (dir, ph, mean) in [
+            ("R", &r.phases_reads, r.mean_read_ms()),
+            ("W", &r.phases_writes, r.mean_write_ms()),
+        ] {
+            let mut row = vec![label.to_string(), dir.to_string(), ms(mean)];
+            row.extend(ph.means_ms().iter().map(|(_, m)| ms(*m)));
+            t.row(&row);
+        }
+    };
+    for (tname, trace) in w.named() {
+        println!("-- {tname}, no cache --");
+        let mut t = Table::new(&header);
+        for org in main_orgs() {
+            let r = run(cfg(org, 10, None), trace);
+            rows_for(&mut t, org.label(), &r);
+        }
+        print!("{}", t.render());
+        println!();
+    }
+    println!("-- Trace 2, 4 MB NV cache --");
+    let mut t = Table::new(&header);
+    for org in [
+        Organization::Raid5 { striping_unit: 1 },
+        Organization::Raid4 { striping_unit: 1 },
+    ] {
+        let r = run(cfg(org, 10, Some(4)), &w.trace2);
+        rows_for(&mut t, org.label(), &r);
+    }
+    print!("{}", t.render());
+    println!();
+}
+
 /// All experiment ids in paper order.
 pub const ALL: &[Experiment] = &[
     ("table1", table1),
@@ -625,6 +699,7 @@ pub const ALL: &[Experiment] = &[
     ("fig19", fig19),
     ("degraded", degraded),
     ("finegrain", finegrain),
+    ("breakdown", breakdown),
 ];
 
 #[cfg(test)]

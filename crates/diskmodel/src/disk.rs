@@ -167,7 +167,13 @@ impl Disk {
     /// starting at `block`, with service beginning at `start`. Pure: does
     /// not change disk state — call [`Disk::commit`] when the operation is
     /// actually dispatched.
-    pub fn plan(&self, start: SimTime, block: BlockNo, nblocks: u32, kind: AccessKind) -> AccessTiming {
+    pub fn plan(
+        &self,
+        start: SimTime,
+        block: BlockNo,
+        nblocks: u32,
+        kind: AccessKind,
+    ) -> AccessTiming {
         debug_assert!(nblocks >= 1);
         debug_assert!(block + nblocks as u64 <= self.geom.blocks_per_disk());
         let target_cyl = self.geom.cylinder_of(block);
@@ -311,7 +317,10 @@ mod tests {
         assert_eq!(c, read_end + ROT);
         // Ready exactly at the first write-start boundary still makes it.
         let boundary = read_end + (ROT - XFER);
-        assert_eq!(rmw_write_complete(read_end, XFER, ROT, boundary), read_end + ROT);
+        assert_eq!(
+            rmw_write_complete(read_end, XFER, ROT, boundary),
+            read_end + ROT
+        );
     }
 
     #[test]
@@ -319,7 +328,10 @@ mod tests {
         let read_end = SimTime::from_ms(20);
         // Ready 1ns past the first boundary: one extra rotation.
         let late = read_end + (ROT - XFER) + 1;
-        assert_eq!(rmw_write_complete(read_end, XFER, ROT, late), read_end + 2 * ROT);
+        assert_eq!(
+            rmw_write_complete(read_end, XFER, ROT, late),
+            read_end + 2 * ROT
+        );
         // Ready several rotations later.
         let very_late = read_end + 5 * ROT;
         let c = rmw_write_complete(read_end, XFER, ROT, very_late);

@@ -125,7 +125,10 @@ impl DiskGeometry {
         if !self.block_bytes.is_multiple_of(self.bytes_per_sector) {
             return Err("block size must be a whole number of sectors".into());
         }
-        if !self.sectors_per_track.is_multiple_of(self.sectors_per_block()) {
+        if !self
+            .sectors_per_track
+            .is_multiple_of(self.sectors_per_block())
+        {
             return Err("a track must hold a whole number of blocks".into());
         }
         Ok(())

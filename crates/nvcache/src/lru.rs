@@ -332,10 +332,12 @@ impl NvCache {
     /// present. With `keep_old`, a clean block being modified leaves its
     /// previous contents in the cache as an extra entry (parity
     /// organizations).
-    pub fn write_access(&mut self, keys: &[BlockKey], keep_old: bool) -> (bool, Vec<DirtyEviction>) {
-        let all_present = keys
-            .iter()
-            .all(|&k| self.index.contains_key(&(k, false)));
+    pub fn write_access(
+        &mut self,
+        keys: &[BlockKey],
+        keep_old: bool,
+    ) -> (bool, Vec<DirtyEviction>) {
+        let all_present = keys.iter().all(|&k| self.index.contains_key(&(k, false)));
         if all_present {
             self.stats.write_hits += 1;
         } else {
@@ -510,7 +512,13 @@ mod tests {
         c.write_access(&[k(1)], false);
         c.insert_fetched(k(2));
         let ev = c.insert_fetched(k(3));
-        assert_eq!(ev, vec![DirtyEviction { key: k(1), had_old: false }]);
+        assert_eq!(
+            ev,
+            vec![DirtyEviction {
+                key: k(1),
+                had_old: false
+            }]
+        );
         assert_eq!(c.stats().dirty_evictions, 1);
     }
 
@@ -553,8 +561,8 @@ mod tests {
         let mut c = NvCache::new(2);
         c.insert_fetched(k(1));
         c.write_access(&[k(1)], true); // 2 slots used: data + old
-        // Old copy was inserted most recently, so data block 1 is... still
-        // MRU-ordered [old(1), 1]. Touch data to push old to LRU end.
+                                       // Old copy was inserted most recently, so data block 1 is... still
+                                       // MRU-ordered [old(1), 1]. Touch data to push old to LRU end.
         c.read_probe(&[k(1)]);
         let ev = c.insert_fetched(k(2)); // evicts the old copy
         assert!(ev.is_empty());
@@ -577,9 +585,24 @@ mod tests {
         assert_eq!(
             groups,
             vec![
-                DestageGroup { disk: 0, block: 1, nblocks: 3, has_old: false },
-                DestageGroup { disk: 0, block: 7, nblocks: 1, has_old: false },
-                DestageGroup { disk: 1, block: 2, nblocks: 1, has_old: false },
+                DestageGroup {
+                    disk: 0,
+                    block: 1,
+                    nblocks: 3,
+                    has_old: false
+                },
+                DestageGroup {
+                    disk: 0,
+                    block: 7,
+                    nblocks: 1,
+                    has_old: false
+                },
+                DestageGroup {
+                    disk: 1,
+                    block: 2,
+                    nblocks: 1,
+                    has_old: false
+                },
             ]
         );
         // Collected blocks are pinned: a second collect returns nothing.

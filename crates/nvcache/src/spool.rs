@@ -113,7 +113,11 @@ impl ParitySpool {
                 Some((&b, _)) => b,
                 None => {
                     self.upward = false;
-                    *self.entries.range(..self.cursor).next_back().map(|(b, _)| b)?
+                    *self
+                        .entries
+                        .range(..self.cursor)
+                        .next_back()
+                        .map(|(b, _)| b)?
                 }
             }
         } else {
@@ -190,11 +194,32 @@ mod tests {
         }
         s.add(6, true); // breaks the run: different kind
         let r = s.pop_run(16).unwrap();
-        assert_eq!(r, SpoolRun { block: 3, nblocks: 3, full: false });
+        assert_eq!(
+            r,
+            SpoolRun {
+                block: 3,
+                nblocks: 3,
+                full: false
+            }
+        );
         let r = s.pop_run(16).unwrap();
-        assert_eq!(r, SpoolRun { block: 6, nblocks: 1, full: true });
+        assert_eq!(
+            r,
+            SpoolRun {
+                block: 6,
+                nblocks: 1,
+                full: true
+            }
+        );
         let r = s.pop_run(16).unwrap();
-        assert_eq!(r, SpoolRun { block: 9, nblocks: 1, full: false });
+        assert_eq!(
+            r,
+            SpoolRun {
+                block: 9,
+                nblocks: 1,
+                full: false
+            }
+        );
         assert!(s.pop_run(16).is_none());
         assert!(s.is_empty());
     }

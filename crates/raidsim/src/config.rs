@@ -121,6 +121,33 @@ impl Default for CacheConfig {
     }
 }
 
+/// Observability knobs. Everything here is **off by default** and — by
+/// design — changes *nothing* about simulated timing: enabling the sampler
+/// or the event log produces bit-identical response times (asserted by the
+/// integration suite).
+#[derive(Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ObservabilityConfig {
+    /// Period of the state sampler, ms. When set, the report carries a
+    /// [`raidtp_stats::TimeSeries`] with per-disk queue depth and
+    /// utilization, per-array channel busy fraction, and — in cached runs —
+    /// NV-cache dirty/clean occupancy.
+    pub sample_period_ms: Option<u64>,
+    /// Path for a JSONL event log (one object per line: request arrivals,
+    /// disk-op dispatches/completions, request completions with their phase
+    /// breakdown). The file is created at simulation start and overwritten.
+    pub event_log: Option<std::path::PathBuf>,
+}
+
+impl ObservabilityConfig {
+    /// Sampler at `period_ms`, no event log.
+    pub fn sampled(period_ms: u64) -> ObservabilityConfig {
+        ObservabilityConfig {
+            sample_period_ms: Some(period_ms),
+            event_log: None,
+        }
+    }
+}
+
 /// Full simulation configuration. `Default` reproduces Table 4 (non-cached
 /// RAID5 needs the striping unit and sync method set explicitly; the
 /// defaults here are the paper's: N = 10, 1-block striping unit, Disk First,
@@ -145,6 +172,9 @@ pub struct SimConfig {
     /// (array index, disk index within the array). Redundant organizations
     /// reconstruct lost blocks from their peers; Base cannot run degraded.
     pub failed_disk: Option<(u32, u32)>,
+    /// Sampler / event-log configuration (all off by default; enabling it
+    /// never changes simulated timing).
+    pub observability: ObservabilityConfig,
 }
 
 impl Default for SimConfig {
@@ -160,6 +190,7 @@ impl Default for SimConfig {
             cache: None,
             seed: 0x5241_4944,
             failed_disk: None,
+            observability: ObservabilityConfig::default(),
         }
     }
 }
@@ -223,6 +254,9 @@ impl SimConfig {
                 return Err("destage period must be ≥ 1 ms".into());
             }
         }
+        if self.observability.sample_period_ms == Some(0) {
+            return Err("sample period must be ≥ 1 ms".into());
+        }
         Ok(())
     }
 }
@@ -235,10 +269,15 @@ mod tests {
     fn disks_per_array_by_organization() {
         assert_eq!(Organization::Base.disks_per_array(10), 10);
         assert_eq!(Organization::Mirror.disks_per_array(10), 20);
-        assert_eq!(Organization::Raid5 { striping_unit: 1 }.disks_per_array(10), 11);
         assert_eq!(
-            Organization::ParityStriping { placement: ParityPlacement::Middle }
-                .disks_per_array(5),
+            Organization::Raid5 { striping_unit: 1 }.disks_per_array(10),
+            11
+        );
+        assert_eq!(
+            Organization::ParityStriping {
+                placement: ParityPlacement::Middle
+            }
+            .disks_per_array(5),
             6
         );
     }
@@ -283,10 +322,15 @@ mod tests {
         cfg.organization = Organization::Raid5 { striping_unit: 8 };
         assert!(cfg.validate().is_ok());
         // …but a unit bigger than the disk is not.
-        cfg.organization = Organization::Raid5 { striping_unit: 300_000 };
+        cfg.organization = Organization::Raid5 {
+            striping_unit: 300_000,
+        };
         assert!(cfg.validate().is_err());
         cfg.organization = Organization::Raid5 { striping_unit: 8 };
-        cfg.cache = Some(CacheConfig { size_mb: 0, destage_period_ms: 1000 });
+        cfg.cache = Some(CacheConfig {
+            size_mb: 0,
+            destage_period_ms: 1000,
+        });
         assert!(cfg.validate().is_err());
     }
 
@@ -311,6 +355,21 @@ mod tests {
         assert!(SyncPolicy::ReadFirstPriority.has_priority());
         assert!(!SyncPolicy::DiskFirst.has_priority());
         assert!(SyncPolicy::DiskFirstPriority.has_priority());
+    }
+
+    #[test]
+    fn observability_defaults_off_and_validates() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.observability, ObservabilityConfig::default());
+        assert!(cfg.observability.sample_period_ms.is_none());
+        assert!(cfg.observability.event_log.is_none());
+        let mut cfg = SimConfig {
+            observability: ObservabilityConfig::sampled(100),
+            ..SimConfig::default()
+        };
+        assert!(cfg.validate().is_ok());
+        cfg.observability.sample_period_ms = Some(0);
+        assert!(cfg.validate().is_err(), "zero sample period rejected");
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub mod report;
 pub mod sim;
 pub mod sweep;
 
-pub use config::{CacheConfig, Organization, ParityPlacement, SimConfig, SyncPolicy};
-pub use report::SimReport;
+pub use config::{
+    CacheConfig, ObservabilityConfig, Organization, ParityPlacement, SimConfig, SyncPolicy,
+};
+pub use report::{PhaseSample, PhaseWelfords, SimReport};
 pub use sim::Simulator;
 pub use sweep::{run_all, NamedRun};

@@ -194,9 +194,21 @@ mod tests {
         assert_eq!(
             runs,
             vec![
-                Run { disk: 0, block: 10, nblocks: 2 },
-                Run { disk: 0, block: 13, nblocks: 1 },
-                Run { disk: 1, block: 14, nblocks: 1 },
+                Run {
+                    disk: 0,
+                    block: 10,
+                    nblocks: 2
+                },
+                Run {
+                    disk: 0,
+                    block: 13,
+                    nblocks: 1
+                },
+                Run {
+                    disk: 1,
+                    block: 14,
+                    nblocks: 1
+                },
             ]
         );
     }
@@ -204,15 +216,23 @@ mod tests {
     #[test]
     fn orgmap_disks_per_array() {
         let bpd = 1800;
-        assert_eq!(OrgMap::new(Organization::Base, 10, bpd).disks_per_array(), 10);
-        assert_eq!(OrgMap::new(Organization::Mirror, 10, bpd).disks_per_array(), 20);
+        assert_eq!(
+            OrgMap::new(Organization::Base, 10, bpd).disks_per_array(),
+            10
+        );
+        assert_eq!(
+            OrgMap::new(Organization::Mirror, 10, bpd).disks_per_array(),
+            20
+        );
         assert_eq!(
             OrgMap::new(Organization::Raid5 { striping_unit: 1 }, 10, bpd).disks_per_array(),
             11
         );
         assert_eq!(
             OrgMap::new(
-                Organization::ParityStriping { placement: ParityPlacement::End },
+                Organization::ParityStriping {
+                    placement: ParityPlacement::End
+                },
                 10,
                 bpd
             )
@@ -228,8 +248,22 @@ mod tests {
         assert_eq!(plan.stripes.len(), 1);
         let s = &plan.stripes[0];
         assert_eq!(s.data.len(), 2);
-        assert_eq!(s.data[0], Run { disk: 4, block: 500, nblocks: 2 });
-        assert_eq!(s.data[1], Run { disk: 5, block: 500, nblocks: 2 });
+        assert_eq!(
+            s.data[0],
+            Run {
+                disk: 4,
+                block: 500,
+                nblocks: 2
+            }
+        );
+        assert_eq!(
+            s.data[1],
+            Run {
+                disk: 5,
+                block: 500,
+                nblocks: 2
+            }
+        );
         assert!(s.parity.is_empty());
     }
 
@@ -237,7 +271,14 @@ mod tests {
     fn base_write_plan_has_no_parity() {
         let m = OrgMap::new(Organization::Base, 4, 1000);
         let plan = m.write_plan(0, 3);
-        assert_eq!(plan.stripes[0].data, vec![Run { disk: 0, block: 0, nblocks: 3 }]);
+        assert_eq!(
+            plan.stripes[0].data,
+            vec![Run {
+                disk: 0,
+                block: 0,
+                nblocks: 3
+            }]
+        );
         assert!(plan.stripes[0].parity.is_empty());
         assert_eq!(plan.stripes[0].mode, StripeMode::Full);
     }

@@ -203,8 +203,16 @@ impl ParStripMap {
                 stripes.push(Self::rmw_stripe(d, p));
             }
             cur = Some((
-                Run { disk, block, nblocks: 1 },
-                Run { disk: pdisk, block: pblock, nblocks: 1 },
+                Run {
+                    disk,
+                    block,
+                    nblocks: 1,
+                },
+                Run {
+                    disk: pdisk,
+                    block: pblock,
+                    nblocks: 1,
+                },
             ));
         }
         if let Some((d, p)) = cur {
@@ -262,7 +270,7 @@ mod tests {
     #[test]
     fn middle_placement_shifts_data_slots() {
         let m = map(4, ParityPlacement::Middle); // parity slot 2, areas 220
-        // Data area 0 and 1 at slots 0,1; areas 2,3 at slots 3,4.
+                                                 // Data area 0 and 1 at slots 0,1; areas 2,3 at slots 3,4.
         assert_eq!(m.locate(0).1, 0);
         assert_eq!(m.locate(220).1, 220);
         assert_eq!(m.locate(440).1, 660, "area 2 skips the parity slot");
@@ -307,7 +315,10 @@ mod tests {
         assert_eq!(s.data[0].nblocks, 4);
         assert_eq!(s.parity[0].nblocks, 4);
         // Parity offsets mirror data offsets within the area.
-        assert_eq!(s.parity[0].block % m.area_blocks, s.data[0].block % m.area_blocks);
+        assert_eq!(
+            s.parity[0].block % m.area_blocks,
+            s.data[0].block % m.area_blocks
+        );
     }
 
     #[test]
@@ -339,7 +350,11 @@ mod tests {
             assert_ne!(pd, 0, "parity never lands on the data's own disk");
             seen.insert(pd);
         }
-        assert_eq!(seen.len(), 4, "parity spread over all other disks: {seen:?}");
+        assert_eq!(
+            seen.len(),
+            4,
+            "parity spread over all other disks: {seen:?}"
+        );
     }
 
     #[test]
@@ -347,8 +362,7 @@ mod tests {
         // Hammer one data area with writes: pinned parity sends every
         // update to one disk; rotated parity spreads them.
         let pinned = ParStripMap::new(4, 1100, ParityPlacement::Middle);
-        let rotated =
-            ParStripMap::new(4, 1100, ParityPlacement::MiddleRotated { band_blocks: 8 });
+        let rotated = ParStripMap::new(4, 1100, ParityPlacement::MiddleRotated { band_blocks: 8 });
         let spread = |m: &ParStripMap| {
             let mut disks = std::collections::HashSet::new();
             for w in 0..m.area_blocks {

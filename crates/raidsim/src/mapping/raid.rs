@@ -254,7 +254,14 @@ mod tests {
         let s = &plan.stripes[0];
         assert_eq!(s.mode, StripeMode::Full);
         assert!(s.extra_reads.is_empty());
-        assert_eq!(s.parity, vec![Run { disk: m.parity_disk(2), block: 4, nblocks: 2 }]);
+        assert_eq!(
+            s.parity,
+            vec![Run {
+                disk: m.parity_disk(2),
+                block: 4,
+                nblocks: 2
+            }]
+        );
         let total: u32 = s.data.iter().map(|r| r.nblocks).sum();
         assert_eq!(total, 8);
     }
@@ -268,7 +275,14 @@ mod tests {
         assert_eq!(s.mode, StripeMode::Reconstruct);
         // The single uncovered unit must be read.
         assert_eq!(s.extra_reads.len(), 1);
-        assert_eq!(s.extra_reads[0], Run { disk: m.data_disk(0, 3), block: 0, nblocks: 1 });
+        assert_eq!(
+            s.extra_reads[0],
+            Run {
+                disk: m.data_disk(0, 3),
+                block: 0,
+                nblocks: 1
+            }
+        );
         assert_eq!(s.parity.len(), 1);
     }
 

@@ -66,9 +66,30 @@ mod tests {
     #[test]
     fn base_identity_mapping() {
         let m = BaseMap::new(4, 1000);
-        assert_eq!(m.runs(0, 1), vec![Run { disk: 0, block: 0, nblocks: 1 }]);
-        assert_eq!(m.runs(3999, 1), vec![Run { disk: 3, block: 999, nblocks: 1 }]);
-        assert_eq!(m.runs(1500, 8), vec![Run { disk: 1, block: 500, nblocks: 8 }]);
+        assert_eq!(
+            m.runs(0, 1),
+            vec![Run {
+                disk: 0,
+                block: 0,
+                nblocks: 1
+            }]
+        );
+        assert_eq!(
+            m.runs(3999, 1),
+            vec![Run {
+                disk: 3,
+                block: 999,
+                nblocks: 1
+            }]
+        );
+        assert_eq!(
+            m.runs(1500, 8),
+            vec![Run {
+                disk: 1,
+                block: 500,
+                nblocks: 8
+            }]
+        );
     }
 
     #[test]
@@ -77,8 +98,16 @@ mod tests {
         assert_eq!(
             m.runs(998, 4),
             vec![
-                Run { disk: 0, block: 998, nblocks: 2 },
-                Run { disk: 1, block: 0, nblocks: 2 },
+                Run {
+                    disk: 0,
+                    block: 998,
+                    nblocks: 2
+                },
+                Run {
+                    disk: 1,
+                    block: 0,
+                    nblocks: 2
+                },
             ]
         );
     }
@@ -87,8 +116,22 @@ mod tests {
     fn mirror_primary_and_copy() {
         let m = MirrorMap::new(4, 1000);
         let runs = m.runs(2500, 2);
-        assert_eq!(runs, vec![Run { disk: 4, block: 500, nblocks: 2 }]);
-        assert_eq!(m.mirror_of(runs[0]), Run { disk: 5, block: 500, nblocks: 2 });
+        assert_eq!(
+            runs,
+            vec![Run {
+                disk: 4,
+                block: 500,
+                nblocks: 2
+            }]
+        );
+        assert_eq!(
+            m.mirror_of(runs[0]),
+            Run {
+                disk: 5,
+                block: 500,
+                nblocks: 2
+            }
+        );
         // mirror_of is an involution.
         assert_eq!(m.mirror_of(m.mirror_of(runs[0])), runs[0]);
     }

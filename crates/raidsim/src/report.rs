@@ -1,8 +1,110 @@
 //! Simulation results.
 
 use nvcache::CacheStats;
-use raidtp_stats::{DiskCounters, Histogram, Welford};
+use raidtp_stats::{DiskCounters, Histogram, TimeSeries, Welford};
 use serde::{Deserialize, Serialize};
+use simkit::time::ns_to_ms;
+
+/// One completed request's response time decomposed into its phases, ns.
+///
+/// The components are **exact**: along the request's critical path (the
+/// part that finished last) they sum to the host-observed response time to
+/// the nanosecond. Phases:
+///
+/// * `admission` — waiting for track buffers before processing starts.
+/// * `channel` — array↔host channel time: write staging before disk ops
+///   issue, the post-read transfer, and the tail transfer of cache misses
+///   and reconstructed reads (wait + transfer).
+/// * `disk_queue` — waiting in the disk's queue behind *foreground* work.
+/// * `destage_interference` — the slice of queue wait spent behind
+///   background (destage/spool) operations: how much the "asynchronous"
+///   destage process actually delays host requests.
+/// * `seek`, `rotation`, `transfer` — the media components of the critical
+///   access.
+/// * `parity` — the parity-update penalty: synchronization wait before the
+///   parity op could even be enqueued, plus extra rotations spent holding
+///   the disk for the read-modify-write turnaround (Section 3.3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseSample {
+    pub admission_ns: u64,
+    pub channel_ns: u64,
+    pub disk_queue_ns: u64,
+    pub destage_interference_ns: u64,
+    pub seek_ns: u64,
+    pub rotation_ns: u64,
+    pub transfer_ns: u64,
+    pub parity_ns: u64,
+}
+
+impl PhaseSample {
+    /// Total of all components — equals the response time, exactly.
+    pub fn sum_ns(&self) -> u64 {
+        self.admission_ns
+            + self.channel_ns
+            + self.disk_queue_ns
+            + self.destage_interference_ns
+            + self.seek_ns
+            + self.rotation_ns
+            + self.transfer_ns
+            + self.parity_ns
+    }
+}
+
+/// Streaming per-phase statistics (ms), one [`Welford`] per phase.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PhaseWelfords {
+    pub admission_ms: Welford,
+    pub channel_ms: Welford,
+    pub disk_queue_ms: Welford,
+    pub destage_interference_ms: Welford,
+    pub seek_ms: Welford,
+    pub rotation_ms: Welford,
+    pub transfer_ms: Welford,
+    pub parity_ms: Welford,
+}
+
+impl PhaseWelfords {
+    pub fn new() -> PhaseWelfords {
+        PhaseWelfords::default()
+    }
+
+    pub fn push(&mut self, s: &PhaseSample) {
+        self.admission_ms.push(ns_to_ms(s.admission_ns));
+        self.channel_ms.push(ns_to_ms(s.channel_ns));
+        self.disk_queue_ms.push(ns_to_ms(s.disk_queue_ns));
+        self.destage_interference_ms
+            .push(ns_to_ms(s.destage_interference_ns));
+        self.seek_ms.push(ns_to_ms(s.seek_ns));
+        self.rotation_ms.push(ns_to_ms(s.rotation_ns));
+        self.transfer_ms.push(ns_to_ms(s.transfer_ns));
+        self.parity_ms.push(ns_to_ms(s.parity_ns));
+    }
+
+    /// Requests observed.
+    pub fn count(&self) -> u64 {
+        self.admission_ms.count()
+    }
+
+    /// Stable (label, mean ms) pairs in presentation order.
+    pub fn means_ms(&self) -> [(&'static str, f64); 8] {
+        [
+            ("admission", self.admission_ms.mean()),
+            ("channel", self.channel_ms.mean()),
+            ("disk queue", self.disk_queue_ms.mean()),
+            ("destage intf", self.destage_interference_ms.mean()),
+            ("seek", self.seek_ms.mean()),
+            ("rotation", self.rotation_ms.mean()),
+            ("transfer", self.transfer_ms.mean()),
+            ("parity", self.parity_ms.mean()),
+        ]
+    }
+
+    /// Sum of the phase means — equals the mean response time (up to f64
+    /// rounding), since each request's phases sum exactly.
+    pub fn mean_total_ms(&self) -> f64 {
+        self.means_ms().iter().map(|(_, m)| m).sum()
+    }
+}
 
 /// Everything a run measured. Response times are *host-observed*: from
 /// request arrival to the last byte landing (reads) or to the data — and,
@@ -20,6 +122,11 @@ pub struct SimReport {
     pub response_reads_ms: Welford,
     pub response_writes_ms: Welford,
     pub histogram_ms: Histogram,
+
+    /// Per-phase latency decomposition along each request's critical path,
+    /// split by direction. Phase means sum to the mean response time.
+    pub phases_reads: PhaseWelfords,
+    pub phases_writes: PhaseWelfords,
 
     /// Physical accesses per disk, concatenated array by array
     /// (Figures 6–7).
@@ -43,6 +150,10 @@ pub struct SimReport {
     pub buffer_waits: u64,
     /// Simulated time span, seconds.
     pub elapsed_secs: f64,
+
+    /// Sampled state over time, present when
+    /// `SimConfig::observability.sample_period_ms` was set.
+    pub timeseries: Option<TimeSeries>,
 }
 
 impl SimReport {
@@ -127,6 +238,8 @@ mod tests {
             response_reads_ms: reads,
             response_writes_ms: writes,
             histogram_ms: hist,
+            phases_reads: PhaseWelfords::new(),
+            phases_writes: PhaseWelfords::new(),
             per_disk_accesses: DiskCounters::new(2),
             disk_utilization: vec![0.2, 0.4],
             channel_utilization: vec![0.1],
@@ -137,6 +250,7 @@ mod tests {
             disk_ops: 3,
             buffer_waits: 0,
             elapsed_secs: 1.0,
+            timeseries: None,
         }
     }
 
@@ -157,5 +271,54 @@ mod tests {
         let s = report().summary();
         assert!(s.contains("Base"));
         assert!(s.contains("3 reqs"));
+    }
+
+    #[test]
+    fn phase_sample_sum_is_exact() {
+        let s = PhaseSample {
+            admission_ns: 1,
+            channel_ns: 2,
+            disk_queue_ns: 3,
+            destage_interference_ns: 4,
+            seek_ns: 5,
+            rotation_ns: 6,
+            transfer_ns: 7,
+            parity_ns: 8,
+        };
+        assert_eq!(s.sum_ns(), 36);
+        assert_eq!(PhaseSample::default().sum_ns(), 0);
+    }
+
+    #[test]
+    fn phase_welfords_mean_total_matches_response() {
+        let mut w = PhaseWelfords::new();
+        let samples = [
+            PhaseSample {
+                seek_ns: 10_000_000,
+                rotation_ns: 5_000_000,
+                transfer_ns: 2_000_000,
+                ..PhaseSample::default()
+            },
+            PhaseSample {
+                disk_queue_ns: 8_000_000,
+                seek_ns: 4_000_000,
+                rotation_ns: 9_000_000,
+                transfer_ns: 2_000_000,
+                parity_ns: 11_000_000,
+                ..PhaseSample::default()
+            },
+        ];
+        let mut resp = Welford::new();
+        for s in &samples {
+            w.push(s);
+            resp.push(ns_to_ms(s.sum_ns()));
+        }
+        assert_eq!(w.count(), 2);
+        assert!((w.mean_total_ms() - resp.mean()).abs() < 1e-9);
+        // Labeled means come out in presentation order.
+        let means = w.means_ms();
+        assert_eq!(means[0].0, "admission");
+        assert_eq!(means[7].0, "parity");
+        assert!((means[4].1 - 7.0).abs() < 1e-12, "mean seek 7 ms");
     }
 }

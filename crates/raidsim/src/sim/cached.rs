@@ -1,7 +1,7 @@
 //! Cached-controller request handling: LRU cache front-end, synchronous
 //! writebacks, the periodic destage process, and RAID4 parity spooling.
 
-use super::{DestageJob, DiskOp, EnqueueRule, Ev, OpRole, ParityJob, Simulator, WriteOps};
+use super::{DestageJob, DiskOp, EnqueueRule, Ev, OpMarks, OpRole, ParityJob, Simulator, WriteOps};
 use crate::mapping::StripeMode;
 use diskmodel::{AccessKind, Band};
 use nvcache::{BlockKey, DestageGroup, DirtyEviction};
@@ -29,8 +29,7 @@ impl<'t> Simulator<'t> {
         if missing.is_empty() {
             // Read hit: response is just the channel wait + transfer.
             let tr = self.channels[array as usize].request(now, bytes);
-            let r = self.reqs.get_mut(req);
-            r.finish = r.finish.max(tr.end);
+            self.note_channel_finish(req, tr.end);
             return;
         }
 
@@ -72,6 +71,7 @@ impl<'t> Simulator<'t> {
                         feeds: false,
                         read_end: SimTime::ZERO,
                         transfer_ns: 0,
+                        marks: OpMarks::default(),
                     });
                     self.reqs.get_mut(req).pending += 1;
                     self.enqueue_op(t);
@@ -89,10 +89,8 @@ impl<'t> Simulator<'t> {
         let keep_old = self.cfg.organization.has_parity();
         let (_hit, evictions) = self.caches[array as usize].write_access(&keys, keep_old);
         let now = self.engine.now();
-        let tr = self.channels[array as usize]
-            .request(now, rec.nblocks as u64 * self.block_bytes);
-        let r = self.reqs.get_mut(req);
-        r.finish = r.finish.max(tr.end);
+        let tr = self.channels[array as usize].request(now, rec.nblocks as u64 * self.block_bytes);
+        self.note_channel_finish(req, tr.end);
         for ev in evictions {
             self.issue_writeback(Some(req), array, ev);
         }
@@ -165,6 +163,7 @@ impl<'t> Simulator<'t> {
                     feeds: false,
                     read_end: SimTime::ZERO,
                     transfer_ns: 0,
+                    marks: OpMarks::default(),
                 });
                 self.enqueue_op(t);
             }
@@ -291,6 +290,7 @@ impl<'t> Simulator<'t> {
                         feeds: true,
                         read_end: SimTime::ZERO,
                         transfer_ns: 0,
+                        marks: OpMarks::default(),
                     });
                     feeders.push(t);
                 }
@@ -305,12 +305,12 @@ impl<'t> Simulator<'t> {
             };
             // RAID4 without cached old data must still pre-read to form the
             // spool delta.
-            let data_kind = if self.parity_cached && !group.has_old && stripe.mode == StripeMode::Rmw
-            {
-                AccessKind::RmwData
-            } else {
-                data_kind
-            };
+            let data_kind =
+                if self.parity_cached && !group.has_old && stripe.mode == StripeMode::Rmw {
+                    AccessKind::RmwData
+                } else {
+                    data_kind
+                };
             for r in &stripe.data {
                 let is_feeder = data_kind == AccessKind::RmwData && !self.parity_cached;
                 let t = self.new_op(DiskOp {
@@ -326,6 +326,7 @@ impl<'t> Simulator<'t> {
                     feeds: is_feeder && job.is_some(),
                     read_end: SimTime::ZERO,
                     transfer_ns: 0,
+                    marks: OpMarks::default(),
                 });
                 feeders.push(t);
             }
@@ -355,6 +356,7 @@ impl<'t> Simulator<'t> {
                     feeds: false,
                     read_end: SimTime::ZERO,
                     transfer_ns: 0,
+                    marks: OpMarks::default(),
                 });
                 match job {
                     None => self.enqueue_op(t),
@@ -402,6 +404,7 @@ impl<'t> Simulator<'t> {
             feeds: false,
             read_end: SimTime::ZERO,
             transfer_ns: 0,
+            marks: OpMarks::default(),
         });
         self.enqueue_op(t);
     }

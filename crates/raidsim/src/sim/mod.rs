@@ -23,14 +23,15 @@ mod slab;
 
 use crate::config::{Organization, SimConfig, SyncPolicy};
 use crate::mapping::{OrgMap, Run, StripeMode};
-use crate::report::SimReport;
+use crate::report::{PhaseSample, PhaseWelfords, SimReport};
 use diskmodel::{rmw_write_complete, AccessKind, Band, Disk, OpQueue};
 use iochannel::{BufferPool, Channel};
 use nvcache::{NvCache, ParitySpool};
-use raidtp_stats::{DiskCounters, Histogram, Welford};
+use raidtp_stats::{DiskCounters, Histogram, TimeSeries, Welford};
 use simkit::{Engine, SimTime};
 use slab::Slab;
 use std::collections::VecDeque;
+use std::io::Write as _;
 use tracegen::{AccessType, Trace, TraceRecord};
 
 /// What a disk operation is doing, which determines what happens when it
@@ -78,6 +79,33 @@ enum EnqueueRule {
     AtAllStarted,
 }
 
+/// Per-op timestamps and timing components for the phase decomposition.
+/// `enqueue`/`bg_snap` are stamped by [`Simulator::enqueue_op`]; the rest at
+/// service start.
+#[derive(Clone, Copy, Debug)]
+struct OpMarks {
+    enqueue: SimTime,
+    start: SimTime,
+    seek_ns: u64,
+    latency_ns: u64,
+    /// Snapshot of the disk's cumulative background-busy counter at enqueue
+    /// (adjusted for a background op mid-service), so the destage
+    /// interference suffered while queued is `bg_busy_cum − bg_snap`.
+    bg_snap: u64,
+}
+
+impl Default for OpMarks {
+    fn default() -> Self {
+        OpMarks {
+            enqueue: SimTime::ZERO,
+            start: SimTime::ZERO,
+            seek_ns: 0,
+            latency_ns: 0,
+            bg_snap: 0,
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 struct DiskOp {
     role: OpRole,
@@ -95,6 +123,7 @@ struct DiskOp {
     /// Filled in at service start.
     read_end: SimTime,
     transfer_ns: u64,
+    marks: OpMarks,
 }
 
 #[derive(Clone, Debug)]
@@ -118,6 +147,16 @@ struct Request {
     finish: SimTime,
     buffers_held: u32,
     tail_channel_bytes: u64,
+    /// Monotonic id for the event log (slab indices get recycled).
+    serial: u64,
+    /// When processing started (arrival + admission wait).
+    admit: SimTime,
+    /// When the request's disk ops could first be enqueued: `admit`, or the
+    /// end of the channel staging transfer for non-cached writes.
+    stage_end: SimTime,
+    /// Phase breakdown of the part that currently defines `finish` (the
+    /// critical path so far); components sum exactly to `finish − arrive`.
+    phase: PhaseSample,
 }
 
 /// Parameters of one write decomposition (host write or cache writeback).
@@ -145,12 +184,19 @@ struct DestageJob {
 enum Ev {
     /// Process the next trace record.
     Arrive,
-    DiskDone { gdisk: u32, op: u32 },
+    DiskDone {
+        gdisk: u32,
+        op: u32,
+    },
     /// Enqueue prepared operations (channel staging done / ready time hit).
     Issue(Box<[u32]>),
     /// RF / reconstruct: parity ops released at the job's ready time.
     EnqueueParity(u32),
-    DestageTick { array: u32 },
+    DestageTick {
+        array: u32,
+    },
+    /// Periodic state sampler (read-only: never perturbs timing).
+    Sample,
 }
 
 /// Trace-driven simulator for one configuration. Construct with
@@ -195,6 +241,8 @@ pub struct Simulator<'t> {
     resp_reads: Welford,
     resp_writes: Welford,
     hist: Histogram,
+    phase_reads: PhaseWelfords,
+    phase_writes: PhaseWelfords,
     disk_counts: DiskCounters,
     disk_ops: u64,
     buffer_waits: u64,
@@ -202,6 +250,22 @@ pub struct Simulator<'t> {
     completed: u64,
     completed_reads: u64,
     completed_writes: u64,
+    req_serial: u64,
+
+    // Destage-interference accounting, per physical disk: cumulative ns of
+    // background service dispatched (incremented by the full service time at
+    // start, and again on RMW holds), plus the busy horizon of the
+    // currently/last running background op for the mid-service correction.
+    bg_busy_cum: Vec<u64>,
+    bg_until: Vec<SimTime>,
+
+    // Observability (never affects timing).
+    sample_period_ns: u64,
+    last_sample_ns: u64,
+    prev_disk_busy: Vec<u64>,
+    prev_chan_busy: Vec<u64>,
+    ts: Option<TimeSeries>,
+    event_log: Option<std::io::BufWriter<std::fs::File>>,
 }
 
 impl<'t> Simulator<'t> {
@@ -240,8 +304,8 @@ impl<'t> Simulator<'t> {
             Some(blocks) => (0..arrays).map(|_| NvCache::new(blocks)).collect(),
             None => Vec::new(),
         };
-        let parity_cached = cfg.cache.is_some()
-            && matches!(cfg.organization, Organization::Raid4 { .. });
+        let parity_cached =
+            cfg.cache.is_some() && matches!(cfg.organization, Organization::Raid4 { .. });
         let spools = if parity_cached {
             (0..arrays).map(|_| ParitySpool::new()).collect()
         } else {
@@ -252,6 +316,28 @@ impl<'t> Simulator<'t> {
             assert!(a < arrays, "failed disk's array out of range");
             a * dpa + d
         });
+
+        let sample_period_ns = cfg
+            .observability
+            .sample_period_ms
+            .map_or(0, |ms| ms * 1_000_000);
+        let ts = (sample_period_ns > 0).then(|| {
+            let mut cols: Vec<String> = Vec::new();
+            cols.extend((0..total_disks).map(|g| format!("qdepth.d{g}")));
+            cols.extend((0..total_disks).map(|g| format!("util.d{g}")));
+            cols.extend((0..arrays).map(|a| format!("chan.a{a}")));
+            if cache_blocks.is_some() {
+                cols.extend((0..arrays).map(|a| format!("dirty.a{a}")));
+                cols.extend((0..arrays).map(|a| format!("clean.a{a}")));
+            }
+            TimeSeries::new(cols)
+        });
+        let event_log = cfg.observability.event_log.as_ref().map(|p| {
+            let f = std::fs::File::create(p)
+                .unwrap_or_else(|e| panic!("cannot create event log {}: {e}", p.display()));
+            std::io::BufWriter::new(f)
+        });
+
         Simulator {
             engine: Engine::new(),
             disks,
@@ -277,9 +363,7 @@ impl<'t> Simulator<'t> {
             bpd,
             rot_ns,
             block_bytes: cfg.geometry.block_bytes as u64,
-            destage_period_ns: cfg
-                .cache
-                .map_or(0, |c| c.destage_period_ms * 1_000_000),
+            destage_period_ns: cfg.cache.map_or(0, |c| c.destage_period_ms * 1_000_000),
             parity_cached,
             next_arrival: 0,
             inflight: 0,
@@ -287,6 +371,8 @@ impl<'t> Simulator<'t> {
             resp_reads: Welford::new(),
             resp_writes: Welford::new(),
             hist: Histogram::response_time_ms(),
+            phase_reads: PhaseWelfords::new(),
+            phase_writes: PhaseWelfords::new(),
             disk_counts: DiskCounters::new(total_disks),
             disk_ops: 0,
             buffer_waits: 0,
@@ -294,9 +380,25 @@ impl<'t> Simulator<'t> {
             completed: 0,
             completed_reads: 0,
             completed_writes: 0,
+            req_serial: 0,
+            bg_busy_cum: vec![0; total_disks],
+            bg_until: vec![SimTime::ZERO; total_disks],
+            sample_period_ns,
+            last_sample_ns: 0,
+            prev_disk_busy: vec![0; total_disks],
+            prev_chan_busy: vec![0; arrays as usize],
+            ts,
+            event_log,
             map,
             cfg,
             trace,
+        }
+    }
+
+    /// Append one pre-formatted line to the JSONL event log, if enabled.
+    fn write_log(&mut self, line: &str) {
+        if let Some(w) = self.event_log.as_mut() {
+            let _ = writeln!(w, "{line}");
         }
     }
 
@@ -311,6 +413,10 @@ impl<'t> Simulator<'t> {
                     .schedule_after(self.destage_period_ns, Ev::DestageTick { array: a });
             }
         }
+        if self.sample_period_ns > 0 {
+            self.engine
+                .schedule_after(self.sample_period_ns, Ev::Sample);
+        }
         while let Some(ev) = self.engine.next_event() {
             self.dispatch(ev);
         }
@@ -318,6 +424,9 @@ impl<'t> Simulator<'t> {
         debug_assert!(self.ops.is_empty(), "disk ops leaked");
         debug_assert_eq!(self.jobs.len(), 0, "parity jobs leaked");
         debug_assert_eq!(self.dgroups.len(), 0, "destage jobs leaked");
+        if let Some(w) = self.event_log.as_mut() {
+            let _ = w.flush();
+        }
         self.report()
     }
 
@@ -337,6 +446,7 @@ impl<'t> Simulator<'t> {
                 }
             }
             Ev::DestageTick { array } => self.on_destage_tick(array),
+            Ev::Sample => self.on_sample(),
         }
     }
 
@@ -372,6 +482,9 @@ impl<'t> Simulator<'t> {
         let array = rec.disk / self.n;
         let ldisk = rec.disk % self.n;
         let laddr = (ldisk as u64 * self.bpd + rec.block) % self.map.logical_capacity();
+        let now = self.engine.now();
+        let serial = self.req_serial;
+        self.req_serial += 1;
         let req = self.reqs.insert(Request {
             arrive: rec.at,
             is_read: rec.kind == AccessType::Read,
@@ -380,8 +493,25 @@ impl<'t> Simulator<'t> {
             finish: rec.at,
             buffers_held,
             tail_channel_bytes: 0,
+            serial,
+            admit: now,
+            stage_end: now,
+            phase: PhaseSample::default(),
         });
         self.inflight += 1;
+        if self.event_log.is_some() {
+            let line = format!(
+                "{{\"t\":{},\"ev\":\"arrive\",\"req\":{},\"read\":{},\"arrive_ns\":{},\"disk\":{},\"block\":{},\"nblocks\":{}}}",
+                now.as_ns(),
+                serial,
+                rec.kind == AccessType::Read,
+                rec.at.as_ns(),
+                rec.disk,
+                rec.block,
+                rec.nblocks
+            );
+            self.write_log(&line);
+        }
 
         if self.cfg.cache.is_some() {
             match rec.kind {
@@ -439,6 +569,7 @@ impl<'t> Simulator<'t> {
             feeds: false,
             read_end: SimTime::ZERO,
             transfer_ns: 0,
+            marks: OpMarks::default(),
         });
         self.reqs.get_mut(req).pending += 1;
         self.enqueue_op(t);
@@ -449,6 +580,7 @@ impl<'t> Simulator<'t> {
         // operations are released when the staging transfer completes.
         let now = self.engine.now();
         let tr = self.channels[array as usize].request(now, n as u64 * self.block_bytes);
+        self.reqs.get_mut(req).stage_end = tr.end;
         let immediate = self.build_write_ops(WriteOps {
             req: Some(req),
             array,
@@ -459,9 +591,23 @@ impl<'t> Simulator<'t> {
             old_known: false,
             spool: false,
         });
-        let r = self.reqs.get_mut(req);
-        r.finish = r.finish.max(tr.end);
+        self.note_channel_finish(req, tr.end);
         self.engine.schedule_at(tr.end, Ev::Issue(immediate.into()));
+    }
+
+    /// A channel transfer directly bounds the request's completion (cache
+    /// hits, write staging): account it as a candidate critical path whose
+    /// time beyond admission is all channel.
+    pub(super) fn note_channel_finish(&mut self, req: u32, end: SimTime) {
+        let r = self.reqs.get_mut(req);
+        if end >= r.finish {
+            r.finish = end;
+            r.phase = PhaseSample {
+                admission_ns: r.admit - r.arrive,
+                channel_ns: end - r.admit,
+                ..PhaseSample::default()
+            };
+        }
     }
 
     /// Create the disk ops (and parity jobs) for a write of
@@ -502,12 +648,21 @@ impl<'t> Simulator<'t> {
             match stripe.mode {
                 StripeMode::Full => {
                     for r in &stripe.data {
-                        let t = self.data_op(req, array, r, data_role, AccessKind::Write, band, None);
+                        let t =
+                            self.data_op(req, array, r, data_role, AccessKind::Write, band, None);
                         immediate.push(t);
                     }
                     if !spool {
                         for p in &stripe.parity {
-                            let t = self.data_op(req, array, p, OpRole::ParityWrite, AccessKind::Write, parity_band, None);
+                            let t = self.data_op(
+                                req,
+                                array,
+                                p,
+                                OpRole::ParityWrite,
+                                AccessKind::Write,
+                                parity_band,
+                                None,
+                            );
                             immediate.push(t);
                         }
                     }
@@ -527,12 +682,21 @@ impl<'t> Simulator<'t> {
                     });
                     if let Some(job) = job {
                         for p in &stripe.parity {
-                            let t = self.data_op(req, array, p, OpRole::ParityWrite, AccessKind::Write, parity_band, Some(job));
+                            let t = self.data_op(
+                                req,
+                                array,
+                                p,
+                                OpRole::ParityWrite,
+                                AccessKind::Write,
+                                parity_band,
+                                Some(job),
+                            );
                             self.jobs.get_mut(job).pending_parity.push(t);
                         }
                         if stripe.extra_reads.is_empty() {
                             // Parity computable from new data alone.
-                            let pending = std::mem::take(&mut self.jobs.get_mut(job).pending_parity);
+                            let pending =
+                                std::mem::take(&mut self.jobs.get_mut(job).pending_parity);
                             immediate.extend(pending);
                         }
                         for r in &stripe.extra_reads {
@@ -541,14 +705,17 @@ impl<'t> Simulator<'t> {
                         }
                     }
                     for r in &stripe.data {
-                        let t = self.data_op(req, array, r, data_role, AccessKind::Write, band, None);
+                        let t =
+                            self.data_op(req, array, r, data_role, AccessKind::Write, band, None);
                         immediate.push(t);
                     }
                 }
                 StripeMode::Rmw => {
                     let rule = match self.cfg.sync {
                         SyncPolicy::SimultaneousIssue => EnqueueRule::AlreadyIssued,
-                        SyncPolicy::ReadFirst | SyncPolicy::ReadFirstPriority => EnqueueRule::AtReady,
+                        SyncPolicy::ReadFirst | SyncPolicy::ReadFirstPriority => {
+                            EnqueueRule::AtReady
+                        }
                         SyncPolicy::DiskFirst | SyncPolicy::DiskFirstPriority => {
                             EnqueueRule::AtAllStarted
                         }
@@ -576,7 +743,11 @@ impl<'t> Simulator<'t> {
                         })
                     });
                     for r in &stripe.data {
-                        let role = if job.is_some() { OpRole::RmwData } else { data_role };
+                        let role = if job.is_some() {
+                            OpRole::RmwData
+                        } else {
+                            data_role
+                        };
                         let t = self.data_op(req, array, r, role, data_kind, band, job);
                         immediate.push(t);
                     }
@@ -637,6 +808,7 @@ impl<'t> Simulator<'t> {
             feeds: kind == AccessKind::RmwData && job.is_some(),
             read_end: SimTime::ZERO,
             transfer_ns: 0,
+            marks: OpMarks::default(),
         })
     }
 
@@ -657,9 +829,9 @@ impl<'t> Simulator<'t> {
             feeds: true,
             read_end: SimTime::ZERO,
             transfer_ns: 0,
+            marks: OpMarks::default(),
         })
     }
-
 
     // ------------------------------------------------------------------
     // disk machinery
@@ -721,11 +893,22 @@ impl<'t> Simulator<'t> {
     }
 
     fn enqueue_op(&mut self, token: u32) {
+        let now = self.engine.now();
         let (gdisk, band) = {
             let op = self.ops.get(token);
             (op.gdisk, op.band)
         };
-        self.queues[gdisk as usize].push(band, token);
+        let g = gdisk as usize;
+        // Background-busy snapshot, credited with the *remaining* time of a
+        // background op currently in service so the interference window
+        // counts only overlap with [enqueue, start].
+        let snap = self.bg_busy_cum[g] - self.bg_until[g].saturating_since(now);
+        {
+            let op = self.ops.get_mut(token);
+            op.marks.enqueue = now;
+            op.marks.bg_snap = snap;
+        }
+        self.queues[g].push(band, token);
         self.try_start(gdisk);
     }
 
@@ -741,9 +924,11 @@ impl<'t> Simulator<'t> {
 
     fn start_op(&mut self, gdisk: u32, token: u32) {
         let now = self.engine.now();
-        let (block, nblocks, kind, job, feeds) = {
+        let (block, nblocks, kind, job, feeds, band, role) = {
             let op = self.ops.get(token);
-            (op.block, op.nblocks, op.kind, op.job, op.feeds)
+            (
+                op.block, op.nblocks, op.kind, op.job, op.feeds, op.band, op.role,
+            )
         };
         let timing = self.disks[gdisk as usize].plan(now, block, nblocks, kind);
         self.disk_counts.add(gdisk as usize, 1);
@@ -752,6 +937,24 @@ impl<'t> Simulator<'t> {
             let op = self.ops.get_mut(token);
             op.read_end = timing.read_end;
             op.transfer_ns = timing.transfer_ns;
+            op.marks.start = now;
+            op.marks.seek_ns = timing.seek_ns;
+            op.marks.latency_ns = timing.latency_ns;
+        }
+        if self.event_log.is_some() {
+            let line = format!(
+                "{{\"t\":{},\"ev\":\"dispatch\",\"disk\":{},\"role\":\"{:?}\",\"band\":\"{:?}\",\"block\":{},\"nblocks\":{},\"seek_ns\":{},\"rotation_ns\":{},\"transfer_ns\":{}}}",
+                now.as_ns(),
+                gdisk,
+                role,
+                band,
+                block,
+                nblocks,
+                timing.seek_ns,
+                timing.latency_ns,
+                timing.transfer_ns
+            );
+            self.write_log(&line);
         }
 
         // Feeder ops report their read-completion to the parity job the
@@ -779,6 +982,12 @@ impl<'t> Simulator<'t> {
             timing.complete
         };
         self.disks[gdisk as usize].commit(&timing, complete);
+        if band == Band::Background {
+            // Destage/spool work holds the disk for [now, complete); host
+            // ops queued behind it attribute that overlap to interference.
+            self.bg_busy_cum[gdisk as usize] += complete - now;
+            self.bg_until[gdisk as usize] = complete;
+        }
         self.in_service[gdisk as usize] = Some(token);
         self.engine
             .schedule_at(complete, Ev::DiskDone { gdisk, op: token });
@@ -844,6 +1053,10 @@ impl<'t> Simulator<'t> {
             };
             if let Some(until) = hold_until {
                 self.disks[gdisk as usize].extend_busy(until);
+                if self.ops.get(token).band == Band::Background {
+                    self.bg_busy_cum[gdisk as usize] += until - now;
+                    self.bg_until[gdisk as usize] = until;
+                }
                 self.engine
                     .schedule_at(until, Ev::DiskDone { gdisk, op: token });
                 return;
@@ -852,6 +1065,17 @@ impl<'t> Simulator<'t> {
 
         let op = self.ops.remove(token);
         self.in_service[gdisk as usize] = None;
+        if self.event_log.is_some() {
+            let line = format!(
+                "{{\"t\":{},\"ev\":\"complete\",\"disk\":{},\"role\":\"{:?}\",\"block\":{},\"nblocks\":{}}}",
+                now.as_ns(),
+                gdisk,
+                op.role,
+                op.block,
+                op.nblocks
+            );
+            self.write_log(&line);
+        }
 
         match op.role {
             OpRole::HostRead => {
@@ -859,14 +1083,17 @@ impl<'t> Simulator<'t> {
                 // host.
                 let tr = self.channels[(gdisk / self.dpa) as usize]
                     .request(now, op.nblocks as u64 * self.block_bytes);
-                self.request_part_done(op.req.unwrap(), tr.end);
+                let phase = self.op_phase(&op, now, tr.end);
+                self.request_part_done(op.req.unwrap(), tr.end, phase);
             }
             OpRole::HostWrite | OpRole::RmwData => {
-                self.request_part_done(op.req.unwrap(), now);
+                let phase = self.op_phase(&op, now, now);
+                self.request_part_done(op.req.unwrap(), now, phase);
             }
             OpRole::ParityRmw | OpRole::ParityWrite => {
                 if let Some(req) = op.req {
-                    self.request_part_done(req, now);
+                    let phase = self.op_phase(&op, now, now);
+                    self.request_part_done(req, now, phase);
                 }
                 if let Some(j) = op.job {
                     self.jobs.get_mut(j).refs -= 1;
@@ -875,16 +1102,19 @@ impl<'t> Simulator<'t> {
             }
             OpRole::ExtraRead => {
                 if let Some(req) = op.req {
-                    self.request_part_done(req, now);
+                    let phase = self.op_phase(&op, now, now);
+                    self.request_part_done(req, now, phase);
                 }
                 // Job bookkeeping happened at start.
             }
             OpRole::CacheFetch | OpRole::ReconstructRead => {
-                self.request_part_done(op.req.unwrap(), now);
+                let phase = self.op_phase(&op, now, now);
+                self.request_part_done(op.req.unwrap(), now, phase);
             }
             OpRole::Writeback => {
                 if let Some(req) = op.req {
-                    self.request_part_done(req, now);
+                    let phase = self.op_phase(&op, now, now);
+                    self.request_part_done(req, now, phase);
                 }
             }
             OpRole::DestageData => {
@@ -918,9 +1148,42 @@ impl<'t> Simulator<'t> {
     // request completion
     // ------------------------------------------------------------------
 
-    fn request_part_done(&mut self, req: u32, at: SimTime) {
+    /// Decompose a finished disk op into request phases. `done` is when the
+    /// disk finished; `at` is when the request part completed (later than
+    /// `done` only for the post-read channel transfer). The eight components
+    /// telescope exactly: they sum to `at − arrive` in nanoseconds.
+    fn op_phase(&self, op: &DiskOp, done: SimTime, at: SimTime) -> PhaseSample {
+        let r = self.reqs.get(op.req.unwrap());
+        let m = &op.marks;
+        let media = m.seek_ns + m.latency_ns + op.transfer_ns;
+        let service = done - m.start;
+        let queue_raw = m.start - m.enqueue;
+        // How much background (destage/spool) service overlapped this op's
+        // queue wait; the rest of the wait was behind foreground work.
+        let interference = (self.bg_busy_cum[op.gdisk as usize] - m.bg_snap).min(queue_raw);
+        PhaseSample {
+            admission_ns: r.admit - r.arrive,
+            channel_ns: (r.stage_end - r.admit) + (at - done),
+            disk_queue_ns: queue_raw - interference,
+            destage_interference_ns: interference,
+            seek_ns: m.seek_ns,
+            rotation_ns: m.latency_ns,
+            transfer_ns: op.transfer_ns,
+            // Sync wait before the op could even enqueue, plus any extra
+            // rotations the disk was held beyond the media time (RMW
+            // turnaround, Section 3.3).
+            parity_ns: (m.enqueue - r.stage_end) + (service - media),
+        }
+    }
+
+    fn request_part_done(&mut self, req: u32, at: SimTime, phase: PhaseSample) {
         let r = self.reqs.get_mut(req);
-        r.finish = r.finish.max(at);
+        // Keep the breakdown of the critical path: the part finishing last
+        // carries the request's phase decomposition.
+        if at >= r.finish {
+            r.finish = at;
+            r.phase = phase;
+        }
         r.pending -= 1;
         if r.pending == 0 {
             self.finalize_request(req);
@@ -931,20 +1194,48 @@ impl<'t> Simulator<'t> {
         let mut r = self.reqs.remove(req);
         if r.tail_channel_bytes > 0 {
             let tr = self.channels[r.array as usize].request(r.finish, r.tail_channel_bytes);
+            r.phase.channel_ns += tr.end - r.finish;
             r.finish = tr.end;
         }
-        let ms = simkit::time::ns_to_ms(r.finish - r.arrive);
+        let total_ns = r.finish - r.arrive;
+        debug_assert_eq!(
+            r.phase.sum_ns(),
+            total_ns,
+            "phase components must sum exactly to the response time"
+        );
+        let ms = simkit::time::ns_to_ms(total_ns);
         self.resp_all.push(ms);
         self.hist.record(ms);
         self.completed += 1;
         if r.is_read {
             self.resp_reads.push(ms);
             self.completed_reads += 1;
+            self.phase_reads.push(&r.phase);
         } else {
             self.resp_writes.push(ms);
             self.completed_writes += 1;
+            self.phase_writes.push(&r.phase);
         }
         self.inflight -= 1;
+        if self.event_log.is_some() {
+            let p = &r.phase;
+            let line = format!(
+                "{{\"t\":{},\"ev\":\"req_done\",\"req\":{},\"read\":{},\"resp_ns\":{},\"admission_ns\":{},\"channel_ns\":{},\"disk_queue_ns\":{},\"destage_interference_ns\":{},\"seek_ns\":{},\"rotation_ns\":{},\"transfer_ns\":{},\"parity_ns\":{}}}",
+                r.finish.as_ns(),
+                r.serial,
+                r.is_read,
+                total_ns,
+                p.admission_ns,
+                p.channel_ns,
+                p.disk_queue_ns,
+                p.destage_interference_ns,
+                p.seek_ns,
+                p.rotation_ns,
+                p.transfer_ns,
+                p.parity_ns
+            );
+            self.write_log(&line);
+        }
 
         if r.buffers_held > 0 {
             self.buffers[r.array as usize].release(r.buffers_held);
@@ -991,6 +1282,8 @@ impl<'t> Simulator<'t> {
             response_reads_ms: self.resp_reads,
             response_writes_ms: self.resp_writes,
             histogram_ms: self.hist.clone(),
+            phases_reads: self.phase_reads.clone(),
+            phases_writes: self.phase_writes.clone(),
             per_disk_accesses: self.disk_counts.clone(),
             disk_utilization: self
                 .disks
@@ -1009,6 +1302,65 @@ impl<'t> Simulator<'t> {
             disk_ops: self.disk_ops,
             buffer_waits: self.buffer_waits,
             elapsed_secs: self.engine.now().as_secs_f64(),
+            timeseries: self.ts.clone(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // periodic sampler
+    // ------------------------------------------------------------------
+
+    /// Record one time-series row (queue depths, utilizations, channel busy,
+    /// cache occupancy) and reschedule while the simulation still has work.
+    /// Purely observational: it reads state and never touches timing.
+    fn on_sample(&mut self) {
+        let now = self.engine.now();
+        let now_ns = now.as_ns();
+        let dt = now_ns - self.last_sample_ns;
+        let Some(ts) = self.ts.as_mut() else {
+            return;
+        };
+        let mut row = Vec::with_capacity(ts.width());
+        for (g, q) in self.queues.iter().enumerate() {
+            let depth = q.len() + usize::from(self.in_service[g].is_some());
+            row.push(depth as f64);
+        }
+        for (g, d) in self.disks.iter().enumerate() {
+            let busy = d.busy_ns();
+            // Windowed busy fraction; can exceed 1.0 because service time is
+            // committed when an op starts, not accrued as it runs.
+            let frac = if dt > 0 {
+                (busy - self.prev_disk_busy[g]) as f64 / dt as f64
+            } else {
+                0.0
+            };
+            self.prev_disk_busy[g] = busy;
+            row.push(frac);
+        }
+        for (a, c) in self.channels.iter().enumerate() {
+            let busy = c.busy_ns();
+            let frac = if dt > 0 {
+                (busy - self.prev_chan_busy[a]) as f64 / dt as f64
+            } else {
+                0.0
+            };
+            self.prev_chan_busy[a] = busy;
+            row.push(frac);
+        }
+        for cache in &self.caches {
+            row.push(cache.dirty_count() as f64);
+            row.push((cache.len() - cache.dirty_count()) as f64);
+        }
+        ts.push(now_ns, row);
+        self.last_sample_ns = now_ns;
+
+        let work_left = self.next_arrival < self.trace.records.len()
+            || self.inflight > 0
+            || self.caches.iter().any(|c| c.dirty_count() > 0)
+            || self.spools.iter().any(|s| !s.is_empty());
+        if work_left {
+            self.engine
+                .schedule_at(now + self.sample_period_ns, Ev::Sample);
         }
     }
 }

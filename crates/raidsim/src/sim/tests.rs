@@ -198,10 +198,7 @@ fn simultaneous_issue_holds_the_parity_disk_under_congestion() {
 #[test]
 fn cached_organizations_respond_faster() {
     let trace = small_trace2();
-    for org in [
-        Organization::Base,
-        Organization::Raid5 { striping_unit: 1 },
-    ] {
+    for org in [Organization::Base, Organization::Raid5 { striping_unit: 1 }] {
         let mut cfg = SimConfig::with_organization(org);
         let uncached = Simulator::new(cfg.clone(), &trace).run();
         cfg.cache = Some(CacheConfig::default());
@@ -337,7 +334,10 @@ fn mirror_reads_split_load_across_the_pair() {
     }
     let r = run_org(Organization::Mirror, &trace);
     let counts = r.per_disk_accesses.counts();
-    assert!(counts[0] > 0 && counts[1] > 0, "both replicas used: {counts:?}");
+    assert!(
+        counts[0] > 0 && counts[1] > 0,
+        "both replicas used: {counts:?}"
+    );
     assert_eq!(counts[0] + counts[1], 40);
 }
 
@@ -432,7 +432,11 @@ mod degraded {
             healthy.mean_response_ms()
         );
         assert!(degraded.disk_ops > healthy.disk_ops);
-        assert_eq!(degraded.per_disk_accesses.counts()[3], 0, "failed disk idle");
+        assert_eq!(
+            degraded.per_disk_accesses.counts()[3],
+            0,
+            "failed disk idle"
+        );
     }
 
     #[test]
@@ -451,7 +455,11 @@ mod degraded {
         let r = Simulator::new(degraded_cfg(Organization::Mirror, 0), &trace).run();
         assert_eq!(r.requests_completed, 2);
         assert_eq!(r.per_disk_accesses.counts()[0], 0);
-        assert_eq!(r.per_disk_accesses.counts()[1], 2, "read + single-copy write");
+        assert_eq!(
+            r.per_disk_accesses.counts()[1],
+            2,
+            "read + single-copy write"
+        );
     }
 
     #[test]
@@ -560,7 +568,11 @@ mod cached_behavior {
         assert!(r.mean_write_ms() < 1.0, "write mean {}", r.mean_write_ms());
         // Destage grouped the run; with a 1 s period and arrivals within
         // 20 ms this is a single 20-block write (at most a couple).
-        assert!(r.disk_ops <= 3, "expected grouped destage, got {} ops", r.disk_ops);
+        assert!(
+            r.disk_ops <= 3,
+            "expected grouped destage, got {} ops",
+            r.disk_ops
+        );
         assert_eq!(r.cache.unwrap().dirty_evictions, 0);
     }
 

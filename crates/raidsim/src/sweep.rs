@@ -7,7 +7,6 @@
 use crate::config::SimConfig;
 use crate::report::SimReport;
 use crate::sim::Simulator;
-use parking_lot::Mutex;
 use tracegen::Trace;
 
 /// One sweep point: a label plus its configuration and input trace (traces
@@ -38,26 +37,23 @@ pub fn run_all(runs: &[NamedRun<'_>], threads: usize) -> Vec<(String, SimReport)
     };
     let mut out: Vec<Option<(String, SimReport)>> = Vec::with_capacity(runs.len());
     out.resize_with(runs.len(), || None);
-    let out = Mutex::new(out);
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = threads.min(runs.len()).max(1);
+    let chunk = runs.len().div_ceil(workers).max(1);
 
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.min(runs.len().max(1)) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= runs.len() {
-                    break;
+    // Each worker owns a disjoint slice of the output: no locking, and a
+    // worker panic propagates when the scope joins.
+    std::thread::scope(|scope| {
+        for (run_chunk, out_chunk) in runs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (run, slot) in run_chunk.iter().zip(out_chunk) {
+                    let report = Simulator::new(run.config.clone(), run.trace).run();
+                    *slot = Some((run.label.clone(), report));
                 }
-                let run = &runs[i];
-                let report = Simulator::new(run.config.clone(), run.trace).run();
-                out.lock()[i] = Some((run.label.clone(), report));
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
-    out.into_inner()
-        .into_iter()
+    out.into_iter()
         .map(|r| r.expect("missing sweep result"))
         .collect()
 }

@@ -80,8 +80,10 @@ impl<E> Engine<E> {
     /// [`SimTime::MAX`] rather than wrapping, so an absurdly long delay
     /// (e.g. a disabled periodic process) cannot send the clock backwards.
     pub fn schedule_after(&mut self, delay_ns: u64, event: E) -> EventId {
-        self.queue
-            .schedule(SimTime::from_ns(self.now.as_ns().saturating_add(delay_ns)), event)
+        self.queue.schedule(
+            SimTime::from_ns(self.now.as_ns().saturating_add(delay_ns)),
+            event,
+        )
     }
 
     /// Schedule an event at the current instant (fires after all events

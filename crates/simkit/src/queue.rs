@@ -50,6 +50,10 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     cancelled: HashSet<u64>,
+    /// Sequence numbers scheduled but not yet popped or cancelled. Cancel
+    /// consults this so that a stale `EventId` (already fired) is rejected
+    /// instead of planting a tombstone nothing will ever consume.
+    live: HashSet<u64>,
     next_seq: u64,
 }
 
@@ -64,6 +68,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             cancelled: HashSet::new(),
+            live: HashSet::new(),
             next_seq: 0,
         }
     }
@@ -72,6 +77,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::with_capacity(cap),
             cancelled: HashSet::new(),
+            live: HashSet::with_capacity(cap),
             next_seq: 0,
         }
     }
@@ -80,6 +86,7 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.live.insert(seq);
         self.heap.push(Entry { at, seq, event });
         EventId(seq)
     }
@@ -87,7 +94,7 @@ impl<E> EventQueue<E> {
     /// Cancel a previously scheduled event. Returns `true` if the event was
     /// still pending (i.e. not yet popped or already cancelled).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
+        if !self.live.remove(&id.0) {
             return false;
         }
         self.cancelled.insert(id.0)
@@ -99,6 +106,7 @@ impl<E> EventQueue<E> {
             if self.cancelled.remove(&entry.seq) {
                 continue;
             }
+            self.live.remove(&entry.seq);
             return Some((entry.at, entry.event));
         }
         None
@@ -121,7 +129,7 @@ impl<E> EventQueue<E> {
 
     /// Number of live (non-cancelled) pending events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -175,6 +183,38 @@ mod tests {
     fn cancel_unknown_id_is_noop() {
         let mut q: EventQueue<()> = EventQueue::new();
         assert!(!q.cancel(EventId(42)));
+    }
+
+    /// Regression: cancelling an id that already fired used to insert a
+    /// tombstone that nothing could consume, making `len()` underflow.
+    #[test]
+    fn cancel_of_fired_event_is_rejected() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_ms(1), "a");
+        assert_eq!(q.pop(), Some((SimTime::from_ms(1), "a")));
+        assert!(!q.cancel(a), "cancel of a fired event must report false");
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+        // The queue remains fully usable afterwards.
+        q.schedule(SimTime::from_ms(2), "b");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_ms(2), "b")));
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Regression: the same stale-cancel scenario with another event still
+    /// pending; `len()` must not drift as the tombstone is never consumed.
+    #[test]
+    fn stale_cancel_does_not_corrupt_len() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_ms(1), "a");
+        q.schedule(SimTime::from_ms(5), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_ms(1), "a")));
+        assert!(!q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(5)));
+        assert_eq!(q.pop(), Some((SimTime::from_ms(5), "b")));
+        assert!(q.is_empty());
     }
 
     #[test]

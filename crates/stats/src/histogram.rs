@@ -12,6 +12,7 @@ pub struct Histogram {
     bin_width: f64,
     counts: Vec<u64>,
     overflow: u64,
+    invalid: u64,
     total: u64,
 }
 
@@ -22,6 +23,7 @@ impl Histogram {
             bin_width,
             counts: vec![0; bins],
             overflow: 0,
+            invalid: 0,
             total: 0,
         }
     }
@@ -31,9 +33,16 @@ impl Histogram {
         Histogram::new(0.1, 20_000)
     }
 
+    /// Record one observation. NaN and negative values cannot be binned
+    /// (`(value / width) as usize` silently maps NaN to bin 0): they are
+    /// counted in `invalid()` and excluded from `count()` and quantiles, in
+    /// release builds as well as debug.
     #[inline]
     pub fn record(&mut self, value: f64) {
-        debug_assert!(value >= 0.0);
+        if value.is_nan() || value < 0.0 {
+            self.invalid += 1;
+            return;
+        }
         let idx = (value / self.bin_width) as usize;
         if idx < self.counts.len() {
             self.counts[idx] += 1;
@@ -51,6 +60,12 @@ impl Histogram {
     #[inline]
     pub fn overflow(&self) -> u64 {
         self.overflow
+    }
+
+    /// Observations rejected by `record` (NaN or negative).
+    #[inline]
+    pub fn invalid(&self) -> u64 {
+        self.invalid
     }
 
     /// Value at quantile `q ∈ [0, 1]`, reported as the upper edge of the bin
@@ -80,6 +95,7 @@ impl Histogram {
             *a += b;
         }
         self.overflow += other.overflow;
+        self.invalid += other.invalid;
         self.total += other.total;
     }
 }
@@ -131,6 +147,57 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 3);
         assert_eq!(a.quantile(1.0), 2.0);
+    }
+
+    #[test]
+    fn nan_is_rejected_not_binned() {
+        let mut h = Histogram::new(1.0, 10);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 0, "NaN must not be counted");
+        assert_eq!(h.invalid(), 1);
+        assert_eq!(h.quantile(0.5), 0.0, "histogram still empty");
+        h.record(3.5);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(1.0), 4.0, "NaN left bin 0 untouched");
+    }
+
+    #[test]
+    fn negative_is_rejected() {
+        let mut h = Histogram::new(1.0, 10);
+        h.record(-0.001);
+        h.record(f64::NEG_INFINITY);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.invalid(), 2);
+    }
+
+    #[test]
+    fn exact_bin_edges_round_down() {
+        let mut h = Histogram::new(1.0, 10);
+        // 0.0 is a valid observation landing in bin 0.
+        h.record(0.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.invalid(), 0);
+        assert_eq!(h.quantile(1.0), 1.0);
+        // An exact interior edge belongs to the bin it opens: 1.0 → bin 1,
+        // upper edge 2.0.
+        let mut h = Histogram::new(1.0, 10);
+        h.record(1.0);
+        assert_eq!(h.quantile(1.0), 2.0);
+        // The exact top edge of the last bin overflows.
+        let mut h = Histogram::new(1.0, 10);
+        h.record(10.0);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn merge_carries_invalid_counts() {
+        let mut a = Histogram::new(1.0, 10);
+        let mut b = Histogram::new(1.0, 10);
+        b.record(f64::NAN);
+        b.record(2.0);
+        a.merge(&b);
+        assert_eq!(a.invalid(), 1);
+        assert_eq!(a.count(), 1);
     }
 
     #[test]

@@ -5,14 +5,19 @@
 //!   queries (used for response-time distributions).
 //! * [`DiskCounters`] — per-disk access counts with imbalance metrics
 //!   (reproduces Figures 6–7, the access-skew plots).
+//! * [`TimeSeries`] — sampled per-instant state (queue depths,
+//!   utilizations, cache occupancy) recorded by the simulator's periodic
+//!   sampler.
 //! * [`table`] — fixed-width text tables for experiment output.
 
 pub mod counters;
 pub mod histogram;
 pub mod table;
+pub mod timeseries;
 pub mod welford;
 
 pub use counters::DiskCounters;
 pub use histogram::Histogram;
 pub use table::Table;
+pub use timeseries::TimeSeries;
 pub use welford::Welford;

@@ -130,7 +130,9 @@ mod tests {
         assert_eq!(lines.len(), 4);
         // All lines equal width.
         let w = lines[0].len();
-        assert!(lines.iter().all(|l| l.len() == w || l.trim_end().len() <= w));
+        assert!(lines
+            .iter()
+            .all(|l| l.len() == w || l.trim_end().len() <= w));
         // Numeric column right-aligned.
         assert!(lines[2].ends_with("1.5"));
         assert!(lines[3].ends_with("12345.0"));

@@ -1,0 +1,155 @@
+//! Sampled time series: named columns over a shared time axis.
+//!
+//! The simulator's periodic sampler records one row per sampling instant —
+//! per-disk queue depths and utilizations, channel busy fractions, cache
+//! occupancy — so a run's dynamics (queue buildup, destage bursts) can be
+//! inspected, not just its end-of-run aggregates.
+
+use serde::{Deserialize, Serialize};
+
+/// A rectangular series: `columns.len()` values per sample, timestamped in
+/// simulated nanoseconds. Rows are dense; every column is sampled at every
+/// instant.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TimeSeries {
+    columns: Vec<String>,
+    times_ns: Vec<u64>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl TimeSeries {
+    pub fn new(columns: Vec<String>) -> TimeSeries {
+        assert!(
+            !columns.is_empty(),
+            "a time series needs at least one column"
+        );
+        TimeSeries {
+            columns,
+            times_ns: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of columns per row.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of samples recorded.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.times_ns.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.times_ns.is_empty()
+    }
+
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    pub fn times_ns(&self) -> &[u64] {
+        &self.times_ns
+    }
+
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Append one sample. `row` must have exactly [`TimeSeries::width`]
+    /// values; timestamps must be nondecreasing.
+    pub fn push(&mut self, t_ns: u64, row: Vec<f64>) {
+        assert_eq!(row.len(), self.width(), "row width mismatch");
+        if let Some(&last) = self.times_ns.last() {
+            assert!(t_ns >= last, "timestamps must be nondecreasing");
+        }
+        self.times_ns.push(t_ns);
+        self.rows.push(row);
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// All samples of one column, by name.
+    pub fn column(&self, name: &str) -> Option<Vec<f64>> {
+        let idx = self.column_index(name)?;
+        Some(self.rows.iter().map(|r| r[idx]).collect())
+    }
+
+    /// Mean of a column over all samples (0 when empty or unknown).
+    pub fn column_mean(&self, name: &str) -> f64 {
+        match self.column_index(name) {
+            Some(idx) if !self.rows.is_empty() => {
+                self.rows.iter().map(|r| r[idx]).sum::<f64>() / self.rows.len() as f64
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Maximum of a column over all samples (0 when empty or unknown).
+    pub fn column_max(&self, name: &str) -> f64 {
+        match self.column_index(name) {
+            Some(idx) => self.rows.iter().map(|r| r[idx]).fold(0.0, f64::max),
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> TimeSeries {
+        let mut ts = TimeSeries::new(vec!["a".into(), "b".into()]);
+        ts.push(100, vec![1.0, 10.0]);
+        ts.push(200, vec![2.0, 20.0]);
+        ts.push(300, vec![3.0, 60.0]);
+        ts
+    }
+
+    #[test]
+    fn push_and_query() {
+        let ts = series();
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.width(), 2);
+        assert_eq!(ts.times_ns(), &[100, 200, 300]);
+        assert_eq!(ts.column("a"), Some(vec![1.0, 2.0, 3.0]));
+        assert_eq!(ts.column("missing"), None);
+    }
+
+    #[test]
+    fn column_statistics() {
+        let ts = series();
+        assert!((ts.column_mean("a") - 2.0).abs() < 1e-12);
+        assert!((ts.column_mean("b") - 30.0).abs() < 1e-12);
+        assert_eq!(ts.column_max("b"), 60.0);
+        assert_eq!(ts.column_mean("missing"), 0.0);
+    }
+
+    #[test]
+    fn empty_series() {
+        let ts = TimeSeries::new(vec!["x".into()]);
+        assert!(ts.is_empty());
+        assert_eq!(ts.column_mean("x"), 0.0);
+        assert_eq!(ts.column_max("x"), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_width_rejected() {
+        let mut ts = TimeSeries::new(vec!["x".into()]);
+        ts.push(0, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn time_regression_rejected() {
+        let mut ts = series();
+        ts.push(50, vec![0.0, 0.0]);
+    }
+}

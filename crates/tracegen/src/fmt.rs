@@ -27,7 +27,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -54,7 +58,11 @@ pub fn write_trace(trace: &Trace, explode_multiblock: bool) -> String {
                 let _ = writeln!(out, "0 {} {} 1 {}", r.disk, r.block + i, kind);
             }
         } else {
-            let _ = writeln!(out, "{} {} {} {} {}", delta_ns, r.disk, r.block, r.nblocks, kind);
+            let _ = writeln!(
+                out,
+                "{} {} {} {} {}",
+                delta_ns, r.disk, r.block, r.nblocks, kind
+            );
         }
     }
     out
@@ -143,10 +151,9 @@ pub fn parse_trace(input: &str) -> Result<Trace, ParseError> {
         blocks_per_disk,
         records,
     };
-    trace.validate().map_err(|message| ParseError {
-        line: 0,
-        message,
-    })?;
+    trace
+        .validate()
+        .map_err(|message| ParseError { line: 0, message })?;
     Ok(trace)
 }
 

@@ -225,8 +225,8 @@ impl SynthSpec {
         // stretched so the overall mean gap stays at duration/n.
         let total_run = (self.quiet_run + self.busy_run) as f64;
         let busy_gap_factor = 1.0 / self.busy_speedup;
-        let quiet_gap_factor = (total_run - self.busy_run as f64 * busy_gap_factor)
-            / self.quiet_run as f64;
+        let quiet_gap_factor =
+            (total_run - self.busy_run as f64 * busy_gap_factor) / self.quiet_run as f64;
         let mean_gap = self.mean_gap_ns();
         let mut in_busy = false;
         let mut run_left: u32 = self.quiet_run;
@@ -247,7 +247,11 @@ impl SynthSpec {
             run_left = run_left.saturating_sub(1);
             if run_left == 0 {
                 in_busy = !in_busy;
-                run_left = if in_busy { self.busy_run } else { self.quiet_run };
+                run_left = if in_busy {
+                    self.busy_run
+                } else {
+                    self.quiet_run
+                };
             }
 
             // Direction and length.
@@ -585,7 +589,11 @@ mod reref_dist_tests {
         // pins a single distance.
         let xs = samples(RerefDist::LogUniform { min: 1_000 }, 64, 2_000);
         let distinct: std::collections::HashSet<u32> = xs.iter().copied().collect();
-        assert!(distinct.len() > 30, "only {} distinct values", distinct.len());
+        assert!(
+            distinct.len() > 30,
+            "only {} distinct values",
+            distinct.len()
+        );
     }
 
     #[test]

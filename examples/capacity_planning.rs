@@ -41,9 +41,10 @@ fn main() {
             ));
         }
     }
-    let named: Vec<sweep::NamedRun> = runs.iter().map(|(_, _, _, r)| {
-        sweep::NamedRun::new(r.label.clone(), r.config.clone(), r.trace)
-    }).collect();
+    let named: Vec<sweep::NamedRun> = runs
+        .iter()
+        .map(|(_, _, _, r)| sweep::NamedRun::new(r.label.clone(), r.config.clone(), r.trace))
+        .collect();
     let reports = sweep::run_all(&named, 0);
 
     let mut table = Table::new(&["config", "disks", "mean ms", "p95 ms", "meets SLO"]);
@@ -51,7 +52,13 @@ fn main() {
         .into_iter()
         .zip(&runs)
         .map(|((label, rep), (disks, cache_mb, _, _))| {
-            (*disks, *cache_mb, label, rep.mean_response_ms(), rep.quantile_ms(0.95))
+            (
+                *disks,
+                *cache_mb,
+                label,
+                rep.mean_response_ms(),
+                rep.quantile_ms(0.95),
+            )
         })
         .collect();
     // Cheapest first: fewest disks, then least cache.

@@ -27,14 +27,20 @@ fn main() {
     let orgs = [
         (Organization::Base, "none (data loss on failure)"),
         (Organization::Mirror, "100% (full copy)"),
-        (Organization::Raid5 { striping_unit: 1 }, "10% (1 parity/10)"),
+        (
+            Organization::Raid5 { striping_unit: 1 },
+            "10% (1 parity/10)",
+        ),
         (
             Organization::ParityStriping {
                 placement: ParityPlacement::Middle,
             },
             "10% (1 parity/10)",
         ),
-        (Organization::Raid4 { striping_unit: 1 }, "10% (1 parity/10)"),
+        (
+            Organization::Raid4 { striping_unit: 1 },
+            "10% (1 parity/10)",
+        ),
     ];
 
     let mut table = Table::new(&[

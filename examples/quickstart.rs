@@ -19,10 +19,7 @@ fn main() {
         trace.n_disks
     );
 
-    for org in [
-        Organization::Base,
-        Organization::Raid5 { striping_unit: 1 },
-    ] {
+    for org in [Organization::Base, Organization::Raid5 { striping_unit: 1 }] {
         // Table 4 defaults: N = 10 data disks per array, Disk First
         // synchronization, no controller cache.
         let config = SimConfig::with_organization(org);

@@ -165,8 +165,8 @@ fn simulator_matches_the_mg1_oracle_under_its_assumptions() {
         let predicted = raidsim::analytic::mg1_base_read_response(&cfg, rate_per_disk);
         let simulated = Simulator::new(cfg, &trace).run();
 
-        let rel = (simulated.mean_response_ms() - predicted.response_ms).abs()
-            / predicted.response_ms;
+        let rel =
+            (simulated.mean_response_ms() - predicted.response_ms).abs() / predicted.response_ms;
         assert!(
             rel < 0.08,
             "rate {rate_per_disk}/s/disk: simulated {:.2} ms vs M/G/1 {:.2} ms ({:.1}% off, ρ={:.2})",
@@ -176,8 +176,8 @@ fn simulator_matches_the_mg1_oracle_under_its_assumptions() {
             predicted.utilization,
         );
         // Utilization agrees too.
-        let rel_u =
-            (simulated.mean_disk_utilization() - predicted.utilization).abs() / predicted.utilization;
+        let rel_u = (simulated.mean_disk_utilization() - predicted.utilization).abs()
+            / predicted.utilization;
         assert!(
             rel_u < 0.08,
             "utilization: simulated {:.3} vs predicted {:.3}",

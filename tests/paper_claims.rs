@@ -3,7 +3,7 @@
 //! These are *directional* assertions (who wins, where the gaps open);
 //! absolute milliseconds live in EXPERIMENTS.md.
 
-use raidsim::{CacheConfig, Organization, ParityPlacement, SimConfig, Simulator, SimReport};
+use raidsim::{CacheConfig, Organization, ParityPlacement, SimConfig, SimReport, Simulator};
 use tracegen::{SynthSpec, Trace};
 
 fn trace1() -> Trace {
@@ -105,8 +105,8 @@ fn a_16mb_cache_practically_eliminates_the_raid5_write_penalty() {
     let base = run(Organization::Base, Some(16), 10, &t);
     let raid5 = run(RAID5, Some(16), 10, &t);
     let gap = raid5.mean_response_ms() / base.mean_response_ms();
-    let uncached_gap =
-        run(RAID5, None, 10, &t).mean_response_ms() / run(Organization::Base, None, 10, &t).mean_response_ms();
+    let uncached_gap = run(RAID5, None, 10, &t).mean_response_ms()
+        / run(Organization::Base, None, 10, &t).mean_response_ms();
     assert!(
         gap < uncached_gap,
         "cache should shrink the RAID5 gap: cached {gap:.3} vs uncached {uncached_gap:.3}"

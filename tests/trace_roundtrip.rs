@@ -26,7 +26,11 @@ fn exploded_format_preserves_multiblock_structure() {
     let exploded = fmt::write_trace(&original, true);
     let parsed = fmt::parse_trace(&exploded).expect("parse");
     assert_eq!(parsed, original);
-    let multi = original.records.iter().filter(|r| r.is_multiblock()).count();
+    let multi = original
+        .records
+        .iter()
+        .filter(|r| r.is_multiblock())
+        .count();
     let multi_parsed = parsed.records.iter().filter(|r| r.is_multiblock()).count();
     assert_eq!(multi, multi_parsed);
 }
@@ -38,11 +42,7 @@ fn transforms_compose_with_the_format() {
     let text = fmt::write_trace(&fast, false);
     let back = fmt::parse_trace(&text).expect("parse");
     assert_eq!(back, fast);
-    let windowed = transform::window(
-        &back,
-        simkit::SimTime::ZERO,
-        simkit::SimTime::from_secs(30),
-    );
+    let windowed = transform::window(&back, simkit::SimTime::ZERO, simkit::SimTime::from_secs(30));
     windowed.validate().expect("windowed trace is well-formed");
     assert!(windowed.len() <= back.len());
 }
@@ -60,11 +60,7 @@ fn hand_written_trace_drives_the_simulator() {
     let trace = fmt::parse_trace(text).expect("parse");
     assert_eq!(trace.len(), 3, "zero-delta lines coalesce into one write");
     assert_eq!(trace.records[1].nblocks, 3);
-    let r = Simulator::new(
-        SimConfig::with_organization(Organization::Mirror),
-        &trace,
-    )
-    .run();
+    let r = Simulator::new(SimConfig::with_organization(Organization::Mirror), &trace).run();
     assert_eq!(r.requests_completed, 3);
     assert_eq!(r.reads_completed, 2);
     assert_eq!(r.writes_completed, 1);

