@@ -38,7 +38,7 @@ fn main() {
             destage_period_ms: ms,
         });
         let r = Simulator::new(cfg, &trace).run();
-        let stats = r.cache.unwrap();
+        let stats = r.cache.expect("cached run always reports cache stats");
         t.row(&[
             label.to_string(),
             format!("{:.2}", r.mean_response_ms()),

@@ -89,11 +89,7 @@ impl Channel {
 
     /// Utilization over an observation window of `elapsed_ns`.
     pub fn utilization(&self, elapsed_ns: u64) -> f64 {
-        if elapsed_ns == 0 {
-            0.0
-        } else {
-            self.busy_ns as f64 / elapsed_ns as f64
-        }
+        simkit::time::busy_fraction(self.busy_ns, elapsed_ns)
     }
 }
 

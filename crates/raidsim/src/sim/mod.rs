@@ -126,6 +126,16 @@ struct DiskOp {
     marks: OpMarks,
 }
 
+impl DiskOp {
+    /// The parent request of an op whose role always has one (host reads
+    /// and writes, RMW data ops, cache fetches, reconstruct reads).
+    #[inline]
+    fn req_id(&self) -> u32 {
+        // simlint::allow(panic-policy): host-facing roles are constructed with a parent request; losing it is a scheduling bug that must stop the run, not skew the stats
+        self.req.expect("host-facing op lost its parent request")
+    }
+}
+
 #[derive(Clone, Debug)]
 struct ParityJob {
     /// Data (or extra-read) ops not yet in service.
@@ -269,16 +279,28 @@ pub struct Simulator<'t> {
 }
 
 impl<'t> Simulator<'t> {
-    /// Build a simulator for `cfg` over `trace`. Panics on an invalid
-    /// configuration (use [`SimConfig::validate`] to check first).
+    /// Build a simulator for `cfg` over `trace`.
+    ///
+    /// # Panics
+    ///
+    /// On an invalid configuration or a trace that does not fit it; use
+    /// [`Simulator::try_new`] to handle the error as a value instead.
     pub fn new(cfg: SimConfig, trace: &'t Trace) -> Simulator<'t> {
-        cfg.validate().expect("invalid SimConfig");
+        match Self::try_new(cfg, trace) {
+            Ok(sim) => sim,
+            Err(e) => panic!("Simulator::new: {e}"),
+        }
+    }
+
+    /// Fallible constructor: validates `cfg` against `trace` and returns
+    /// the configuration error instead of panicking.
+    pub fn try_new(cfg: SimConfig, trace: &'t Trace) -> Result<Simulator<'t>, String> {
+        cfg.validate()?;
         let n = cfg.data_disks_per_array;
         let bpd = cfg.geometry.blocks_per_disk();
-        assert!(
-            trace.blocks_per_disk <= bpd,
-            "trace addresses exceed the physical disk size"
-        );
+        if trace.blocks_per_disk > bpd {
+            return Err("trace addresses exceed the physical disk size".into());
+        }
         let arrays = cfg.arrays_for(trace.n_disks);
         let map = OrgMap::new(cfg.organization, n, bpd);
         let dpa = map.disks_per_array();
@@ -312,10 +334,12 @@ impl<'t> Simulator<'t> {
             Vec::new()
         };
 
-        let failed_gdisk = cfg.failed_disk.map(|(a, d)| {
-            assert!(a < arrays, "failed disk's array out of range");
-            a * dpa + d
-        });
+        if let Some((a, _)) = cfg.failed_disk {
+            if a >= arrays {
+                return Err("failed disk's array out of range".into());
+            }
+        }
+        let failed_gdisk = cfg.failed_disk.map(|(a, d)| a * dpa + d);
 
         let sample_period_ns = cfg
             .observability
@@ -332,13 +356,16 @@ impl<'t> Simulator<'t> {
             }
             TimeSeries::new(cols)
         });
-        let event_log = cfg.observability.event_log.as_ref().map(|p| {
-            let f = std::fs::File::create(p)
-                .unwrap_or_else(|e| panic!("cannot create event log {}: {e}", p.display()));
-            std::io::BufWriter::new(f)
-        });
+        let event_log = match cfg.observability.event_log.as_ref() {
+            Some(p) => {
+                let f = std::fs::File::create(p)
+                    .map_err(|e| format!("cannot create event log {}: {e}", p.display()))?;
+                Some(std::io::BufWriter::new(f))
+            }
+            None => None,
+        };
 
-        Simulator {
+        Ok(Simulator {
             engine: Engine::new(),
             disks,
             queues: (0..total_disks).map(|_| OpQueue::new()).collect(),
@@ -392,7 +419,7 @@ impl<'t> Simulator<'t> {
             map,
             cfg,
             trace,
-        }
+        })
     }
 
     /// Append one pre-formatted line to the JSONL event log, if enabled.
@@ -1084,11 +1111,11 @@ impl<'t> Simulator<'t> {
                 let tr = self.channels[(gdisk / self.dpa) as usize]
                     .request(now, op.nblocks as u64 * self.block_bytes);
                 let phase = self.op_phase(&op, now, tr.end);
-                self.request_part_done(op.req.unwrap(), tr.end, phase);
+                self.request_part_done(op.req_id(), tr.end, phase);
             }
             OpRole::HostWrite | OpRole::RmwData => {
                 let phase = self.op_phase(&op, now, now);
-                self.request_part_done(op.req.unwrap(), now, phase);
+                self.request_part_done(op.req_id(), now, phase);
             }
             OpRole::ParityRmw | OpRole::ParityWrite => {
                 if let Some(req) = op.req {
@@ -1109,7 +1136,7 @@ impl<'t> Simulator<'t> {
             }
             OpRole::CacheFetch | OpRole::ReconstructRead => {
                 let phase = self.op_phase(&op, now, now);
-                self.request_part_done(op.req.unwrap(), now, phase);
+                self.request_part_done(op.req_id(), now, phase);
             }
             OpRole::Writeback => {
                 if let Some(req) = op.req {
@@ -1118,7 +1145,8 @@ impl<'t> Simulator<'t> {
                 }
             }
             OpRole::DestageData => {
-                let dg = op.dgroup.unwrap();
+                // simlint::allow(panic-policy): destage ops are created from a destage group; absence is a cache-scheduler bug worth a loud stop
+                let dg = op.dgroup.expect("destage op lost its group");
                 self.dgroups.get_mut(dg).remaining -= 1;
                 if self.dgroups.get(dg).remaining == 0 {
                     let dj = self.dgroups.remove(dg);
@@ -1153,7 +1181,7 @@ impl<'t> Simulator<'t> {
     /// `done` only for the post-read channel transfer). The eight components
     /// telescope exactly: they sum to `at − arrive` in nanoseconds.
     fn op_phase(&self, op: &DiskOp, done: SimTime, at: SimTime) -> PhaseSample {
-        let r = self.reqs.get(op.req.unwrap());
+        let r = self.reqs.get(op.req_id());
         let m = &op.marks;
         let media = m.seek_ns + m.latency_ns + op.transfer_ns;
         let service = done - m.start;

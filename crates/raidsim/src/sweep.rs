@@ -54,6 +54,7 @@ pub fn run_all(runs: &[NamedRun<'_>], threads: usize) -> Vec<(String, SimReport)
     });
 
     out.into_iter()
+        // simlint::allow(panic-policy): a worker panic propagates at scope join above, so every slot is filled by the time we get here
         .map(|r| r.expect("missing sweep result"))
         .collect()
 }
@@ -72,7 +73,7 @@ mod tests {
             Organization::Mirror,
             Organization::Raid5 { striping_unit: 1 },
         ];
-        let runs: Vec<NamedRun> = orgs
+        let runs: Vec<NamedRun<'_>> = orgs
             .iter()
             .map(|&o| NamedRun::new(o.label(), SimConfig::with_organization(o), &trace))
             .collect();

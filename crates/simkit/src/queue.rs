@@ -8,7 +8,7 @@
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// Opaque handle to a scheduled event, usable for cancellation.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -45,15 +45,20 @@ impl<E> Ord for Entry<E> {
 /// Priority queue of future events.
 ///
 /// `pop` returns events in nondecreasing time order; events with equal
-/// timestamps come out in scheduling order. `cancel` is O(1) amortized: the
+/// timestamps come out in scheduling order. `cancel` is O(log n): the
 /// entry stays in the heap but is skipped when popped.
+///
+/// The bookkeeping sets are `BTreeSet`s, not `HashSet`s: sim-core bans
+/// hash collections outright (see `simlint`) so that nondeterministic
+/// iteration order can never leak into results, even through a future
+/// refactor that starts iterating one of these.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<u64>,
+    cancelled: BTreeSet<u64>,
     /// Sequence numbers scheduled but not yet popped or cancelled. Cancel
     /// consults this so that a stale `EventId` (already fired) is rejected
     /// instead of planting a tombstone nothing will ever consume.
-    live: HashSet<u64>,
+    live: BTreeSet<u64>,
     next_seq: u64,
 }
 
@@ -67,8 +72,8 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            live: HashSet::new(),
+            cancelled: BTreeSet::new(),
+            live: BTreeSet::new(),
             next_seq: 0,
         }
     }
@@ -76,8 +81,8 @@ impl<E> EventQueue<E> {
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
             heap: BinaryHeap::with_capacity(cap),
-            cancelled: HashSet::new(),
-            live: HashSet::with_capacity(cap),
+            cancelled: BTreeSet::new(),
+            live: BTreeSet::new(),
             next_seq: 0,
         }
     }

@@ -101,6 +101,18 @@ pub fn ms_to_ns(ms: f64) -> u64 {
     (ms * NS_PER_MS as f64).round() as u64
 }
 
+/// Fraction of an observation window spent busy: `busy_ns / elapsed_ns`,
+/// `0.0` for an empty window. The sanctioned way to turn two nanosecond
+/// counters into a utilization without raw casts at the call site.
+#[inline]
+pub fn busy_fraction(busy_ns: u64, elapsed_ns: u64) -> f64 {
+    if elapsed_ns == 0 {
+        0.0
+    } else {
+        busy_ns as f64 / elapsed_ns as f64
+    }
+}
+
 impl Add<u64> for SimTime {
     type Output = SimTime;
     #[inline]
@@ -157,6 +169,13 @@ mod tests {
         assert_eq!(SimTime::from_ms_f64(0.0000005).as_ns(), 1); // 0.5ns rounds up
         assert_eq!(ms_to_ns(1.5), 1_500_000);
         assert_eq!(ns_to_ms(250_000), 0.25);
+    }
+
+    #[test]
+    fn busy_fraction_handles_empty_window() {
+        assert_eq!(busy_fraction(500, 1_000), 0.5);
+        assert_eq!(busy_fraction(0, 1_000), 0.0);
+        assert_eq!(busy_fraction(123, 0), 0.0);
     }
 
     #[test]

@@ -1,0 +1,1056 @@
+//! # simlint — determinism & invariant lints for the sim-core crates
+//!
+//! The paper's organization comparisons (Tables 3/4) are only meaningful
+//! because the trace-driven simulation is exactly reproducible: the same
+//! trace and seed must yield the same figures. The Rust compiler cannot
+//! enforce that, so this tool does. It walks every `.rs` file in the
+//! sim-core crates and checks four domain invariants:
+//!
+//! 1. **`hash-collection`** — no `std::collections::HashMap`/`HashSet`:
+//!    their iteration order is randomized per process, so any result that
+//!    ever iterates one stops being replayable.
+//! 2. **`ambient-nondet`** — no `Instant::now`, `SystemTime::now`,
+//!    `thread_rng`, `rand::random`, or environment-variable reads: all
+//!    randomness must flow from the seeded RNG in the simulation config.
+//! 3. **`raw-time-cast`** — no `as`-casts on identifiers that name times
+//!    or durations (`*_ns`, `*_ms`, `*_us`, `*time*`, `tick`, `now`,
+//!    `deadline`) outside `simkit::time`: the `SimTime` newtype and its
+//!    helpers are the only sanctioned unit boundary.
+//! 4. **`panic-policy`** — no `.unwrap()`/`.expect(` in library (non-bin,
+//!    non-test, non-bench) code: parsers and fallible paths return
+//!    `Result`; genuine invariants document themselves via the escape
+//!    hatch below.
+//!
+//! A site can opt out with a justified annotation on the same line or the
+//! line directly above:
+//!
+//! ```text
+//! // simlint::allow(panic-policy): index validity is the slab's invariant
+//! ```
+//!
+//! An annotation without a reason is itself a diagnostic
+//! (`malformed-allow`), and an annotation that suppresses nothing is
+//! reported as `unused-allow` so stale escapes cannot accumulate.
+//!
+//! `syn` is unavailable in this offline workspace, so the analysis runs on
+//! a purpose-built lexer: comments, string/char literals, and lifetimes
+//! are stripped exactly, `#[cfg(test)]`/`#[test]` items are skipped, and
+//! the rules match on the remaining token stream. That is deliberately
+//! simpler than type resolution — and catches exactly the textual forms
+//! that have bitten simulator reproducibility in practice.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+/// The four determinism invariants, plus the two meta-rules about the
+/// escape-hatch annotations themselves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    HashCollection,
+    AmbientNondet,
+    RawTimeCast,
+    PanicPolicy,
+    MalformedAllow,
+    UnusedAllow,
+}
+
+pub const RULES: [Rule; 6] = [
+    Rule::HashCollection,
+    Rule::AmbientNondet,
+    Rule::RawTimeCast,
+    Rule::PanicPolicy,
+    Rule::MalformedAllow,
+    Rule::UnusedAllow,
+];
+
+impl Rule {
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::HashCollection => "hash-collection",
+            Rule::AmbientNondet => "ambient-nondet",
+            Rule::RawTimeCast => "raw-time-cast",
+            Rule::PanicPolicy => "panic-policy",
+            Rule::MalformedAllow => "malformed-allow",
+            Rule::UnusedAllow => "unused-allow",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<Rule> {
+        RULES.iter().copied().find(|r| r.name() == s)
+    }
+
+    pub fn hint(self) -> &'static str {
+        match self {
+            Rule::HashCollection => {
+                "iteration order is nondeterministic; use BTreeMap/BTreeSet, or annotate \
+                 `// simlint::allow(hash-collection): <reason>` if the map is never iterated"
+            }
+            Rule::AmbientNondet => {
+                "sim-core must be a pure function of (trace, config); route randomness through \
+                 the seeded RNG in the config and take timestamps from simulated time"
+            }
+            Rule::RawTimeCast => {
+                "keep times in SimTime and cross units via simkit::time \
+                 (from_ns/as_ns/ns_to_ms/busy_fraction) instead of raw `as` casts"
+            }
+            Rule::PanicPolicy => {
+                "library code returns Result; if this is a real invariant, document it with \
+                 `// simlint::allow(panic-policy): <reason>`"
+            }
+            Rule::MalformedAllow => {
+                "write `// simlint::allow(<rule>): <reason>` — the rule must exist and the \
+                 reason must be non-empty"
+            }
+            Rule::UnusedAllow => "this annotation suppresses nothing; remove it",
+        }
+    }
+
+    /// Default enforcement level before CLI overrides.
+    pub fn default_level(self) -> Level {
+        match self {
+            Rule::UnusedAllow => Level::Warn,
+            _ => Level::Deny,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Allow,
+    Warn,
+    Deny,
+}
+
+impl Level {
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Allow => "allow",
+            Level::Warn => "warn",
+            Level::Deny => "deny",
+        }
+    }
+}
+
+/// Per-run configuration: enforcement level per rule.
+#[derive(Clone, Debug)]
+pub struct Config {
+    levels: BTreeMap<Rule, Level>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            levels: RULES.iter().map(|&r| (r, r.default_level())).collect(),
+        }
+    }
+}
+
+impl Config {
+    pub fn level(&self, rule: Rule) -> Level {
+        self.levels[&rule]
+    }
+
+    pub fn set_level(&mut self, rule: Rule, level: Level) {
+        self.levels.insert(rule, level);
+    }
+
+    pub fn set_all(&mut self, level: Level) {
+        for r in RULES {
+            self.levels.insert(r, level);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    pub rule: Rule,
+    pub level: Level,
+    pub file: String,
+    /// 1-based.
+    pub line: u32,
+    /// 1-based.
+    pub col: u32,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}[{}]: {}:{}:{}",
+            self.level.name(),
+            self.rule.name(),
+            self.file,
+            self.line,
+            self.col
+        )?;
+        writeln!(f, "  |  {}", self.snippet)?;
+        write!(f, "  = help: {}", self.rule.hint())
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render diagnostics as a JSON array (machine-readable `--format json`).
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\":\"{}\",\"level\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\
+             \"snippet\":\"{}\",\"hint\":\"{}\"}}",
+            d.rule.name(),
+            d.level.name(),
+            json_escape(&d.file),
+            d.line,
+            d.col,
+            json_escape(&d.snippet),
+            json_escape(d.rule.hint())
+        ));
+    }
+    out.push_str("\n]");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+}
+
+#[derive(Clone, Debug)]
+struct Token {
+    tok: Tok,
+    line: u32,
+    col: u32,
+}
+
+impl Token {
+    fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            Tok::Punct(_) => None,
+        }
+    }
+
+    fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+}
+
+/// A `simlint::allow(rule): reason` annotation found in a comment.
+#[derive(Clone, Debug)]
+struct AllowDirective {
+    line: u32,
+    col: u32,
+    rule: Option<Rule>,
+    has_reason: bool,
+    used: bool,
+}
+
+struct Lexed {
+    tokens: Vec<Token>,
+    directives: Vec<AllowDirective>,
+}
+
+/// Tokenize `src`, stripping comments, strings, chars, lifetimes, and
+/// numeric literals — none of which can carry a violation — while
+/// harvesting `simlint::allow` directives out of the comments.
+fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut tokens = Vec::new();
+    let mut directives = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            if b[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Line comment (also harvests allow directives).
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            let start = i;
+            let dline = line;
+            let dcol = col;
+            while i < b.len() && b[i] != '\n' {
+                bump!();
+            }
+            let text: String = b[start..i].iter().collect();
+            if let Some(d) = parse_directive(&text, dline, dcol) {
+                directives.push(d);
+            }
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    depth += 1;
+                    bump!();
+                    bump!();
+                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                    depth -= 1;
+                    bump!();
+                    bump!();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    bump!();
+                }
+            }
+            continue;
+        }
+        // String-ish literals, including raw and byte forms.
+        if c == '"' || c == 'r' || c == 'b' {
+            let rest: String = b[i..b.len().min(i + 4)].iter().collect();
+            let (is_str, prefix_len, raw_hashes) = string_prefix(c, &rest, &b[i..]);
+            if is_str {
+                for _ in 0..prefix_len {
+                    bump!();
+                }
+                if let Some(h) = raw_hashes {
+                    // Raw string: ends at `"` followed by `h` hashes.
+                    while i < b.len() {
+                        if b[i] == '"'
+                            && b[i + 1..].iter().take(h).filter(|&&x| x == '#').count() == h
+                        {
+                            bump!(); // closing quote
+                            for _ in 0..h {
+                                bump!();
+                            }
+                            break;
+                        }
+                        bump!();
+                    }
+                } else {
+                    // Cooked string: honor escapes.
+                    while i < b.len() {
+                        if b[i] == '\\' && i + 1 < b.len() {
+                            bump!();
+                            bump!();
+                        } else if b[i] == '"' {
+                            bump!();
+                            break;
+                        } else {
+                            bump!();
+                        }
+                    }
+                }
+                continue;
+            }
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = b.get(i + 1).copied();
+            let after = b.get(i + 2).copied();
+            let is_lifetime =
+                matches!(next, Some(n) if n.is_alphabetic() || n == '_') && after != Some('\'');
+            bump!(); // the quote
+            if is_lifetime {
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    bump!();
+                }
+            } else {
+                // Char literal: consume to the closing quote, honoring escapes.
+                while i < b.len() {
+                    if b[i] == '\\' && i + 1 < b.len() {
+                        bump!();
+                        bump!();
+                    } else if b[i] == '\'' {
+                        bump!();
+                        break;
+                    } else {
+                        bump!();
+                    }
+                }
+            }
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let tl = line;
+            let tc = col;
+            let start = i;
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                bump!();
+            }
+            tokens.push(Token {
+                tok: Tok::Ident(b[start..i].iter().collect()),
+                line: tl,
+                col: tc,
+            });
+            continue;
+        }
+        // Numeric literal: swallowed entirely (cannot carry a violation).
+        if c.is_ascii_digit() {
+            while i < b.len()
+                && (b[i].is_alphanumeric()
+                    || b[i] == '_'
+                    || (b[i] == '.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())))
+            {
+                bump!();
+            }
+            continue;
+        }
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        tokens.push(Token {
+            tok: Tok::Punct(c),
+            line,
+            col,
+        });
+        bump!();
+    }
+
+    Lexed { tokens, directives }
+}
+
+/// Classify a possible string-literal start: returns (is_string, prefix
+/// chars before the content, Some(hash_count) for raw strings).
+fn string_prefix(c: char, _rest: &str, tail: &[char]) -> (bool, usize, Option<usize>) {
+    match c {
+        '"' => (true, 1, None),
+        'r' | 'b' => {
+            let mut j = 1;
+            if c == 'b' && tail.get(1) == Some(&'r') {
+                j = 2;
+            } else if c == 'b' && tail.get(1) == Some(&'"') {
+                return (true, 2, None);
+            } else if c == 'b' {
+                return (false, 0, None);
+            }
+            let mut hashes = 0;
+            while tail.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if tail.get(j) == Some(&'"') {
+                (true, j + 1, Some(hashes))
+            } else {
+                (false, 0, None)
+            }
+        }
+        _ => (false, 0, None),
+    }
+}
+
+fn parse_directive(comment: &str, line: u32, col: u32) -> Option<AllowDirective> {
+    let idx = comment.find("simlint::allow")?;
+    let rest = &comment[idx + "simlint::allow".len()..];
+    let rest = rest.trim_start();
+    let Some(stripped) = rest.strip_prefix('(') else {
+        return Some(AllowDirective {
+            line,
+            col,
+            rule: None,
+            has_reason: false,
+            used: false,
+        });
+    };
+    let Some(close) = stripped.find(')') else {
+        return Some(AllowDirective {
+            line,
+            col,
+            rule: None,
+            has_reason: false,
+            used: false,
+        });
+    };
+    let rule = Rule::from_name(stripped[..close].trim());
+    let after = stripped[close + 1..].trim_start();
+    let has_reason = after
+        .strip_prefix(':')
+        .is_some_and(|r| !r.trim().is_empty());
+    Some(AllowDirective {
+        line,
+        col,
+        rule,
+        has_reason,
+        used: false,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// #[cfg(test)] / #[test] item skipping
+// ---------------------------------------------------------------------------
+
+/// Token-index ranges covered by test-only items (`#[cfg(test)] mod … { }`,
+/// `#[test] fn … { }`), which every rule exempts.
+fn test_item_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            if let Some(attr_end) = matching(tokens, i + 1, '[', ']') {
+                if attr_is_test(&tokens[i + 2..attr_end]) {
+                    let end = skip_item(tokens, attr_end + 1);
+                    ranges.push((i, end));
+                    i = end;
+                    continue;
+                }
+                i = attr_end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Does the attribute body mark a test item? Matches `test`,
+/// `cfg(test)`, and `cfg(any(test, …))`.
+fn attr_is_test(body: &[Token]) -> bool {
+    let first = body.first().and_then(|t| t.ident());
+    let mentions_test = body.iter().any(|t| t.ident() == Some("test"));
+    matches!(first, Some("test") | Some("cfg")) && mentions_test
+}
+
+/// Find the index of the punct closing the group opened at `open_idx`.
+fn matching(tokens: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Starting just past a test attribute, consume any further attributes and
+/// then one item (to its closing `}` or terminating `;`); returns the index
+/// one past the item.
+fn skip_item(tokens: &[Token], mut i: usize) -> usize {
+    // Subsequent attributes (e.g. `#[cfg(test)] #[allow(…)] mod t { }`).
+    while i < tokens.len()
+        && tokens[i].is_punct('#')
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        match matching(tokens, i + 1, '[', ']') {
+            Some(end) => i = end + 1,
+            None => return tokens.len(),
+        }
+    }
+    // The item header: ends at `;` (e.g. `mod tests;`) or at its body brace.
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && t.is_punct(';') {
+            return i + 1;
+        } else if depth == 0 && t.is_punct('{') {
+            return matching(tokens, i, '{', '}').map_or(tokens.len(), |e| e + 1);
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+// ---------------------------------------------------------------------------
+// File classification
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FileClass {
+    /// Library source: every rule applies.
+    Library,
+    /// Binary / bench / example / build script: panic-policy exempt.
+    Executable,
+    /// Test source: all rules exempt.
+    Test,
+}
+
+fn classify(path: &str) -> FileClass {
+    let norm = path.replace('\\', "/");
+    let file = norm.rsplit('/').next().unwrap_or(&norm);
+    let stem = file.strip_suffix(".rs").unwrap_or(file);
+    let in_dir = |name: &str| norm.split('/').rev().skip(1).any(|c| c == name);
+    if in_dir("tests") || file == "tests.rs" || stem.ends_with("_test") || stem.ends_with("_tests")
+    {
+        return FileClass::Test;
+    }
+    if in_dir("bin")
+        || in_dir("benches")
+        || in_dir("examples")
+        || file == "main.rs"
+        || file == "build.rs"
+    {
+        return FileClass::Executable;
+    }
+    FileClass::Library
+}
+
+/// Is this file the sanctioned unit-conversion boundary (`simkit::time`)?
+fn is_time_boundary(path: &str) -> bool {
+    path.replace('\\', "/").ends_with("simkit/src/time.rs")
+}
+
+// ---------------------------------------------------------------------------
+// Rule matching
+// ---------------------------------------------------------------------------
+
+const NUMERIC_TYPES: [&str; 14] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// Does `ident` name a time or duration? Matched per `_`-separated segment
+/// so that e.g. `instant` or `snow` never false-positive.
+fn is_time_ident(ident: &str) -> bool {
+    ident.split('_').any(|seg| {
+        let seg = seg.to_ascii_lowercase();
+        matches!(
+            seg.as_str(),
+            "ns" | "ms" | "us" | "now" | "tick" | "ticks" | "deadline"
+        ) || seg.contains("time")
+    })
+}
+
+fn env_read(name: &str) -> bool {
+    matches!(name, "var" | "var_os" | "vars" | "vars_os")
+}
+
+/// Analyze one source file (given as a string, so unit tests can feed
+/// inline fixtures) and return every diagnostic whose rule is not allowed.
+pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let class = classify(path);
+    let mut lexed = lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let mut raw: Vec<(Rule, u32, u32)> = Vec::new();
+
+    if class != FileClass::Test {
+        let skip = test_item_ranges(&lexed.tokens);
+        let in_test = |idx: usize| skip.iter().any(|&(s, e)| idx >= s && idx < e);
+        let toks = &lexed.tokens;
+
+        for i in 0..toks.len() {
+            if in_test(i) {
+                continue;
+            }
+            let path_sep = |j: usize| {
+                toks.get(j).is_some_and(|t| t.is_punct(':'))
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+            };
+            match toks[i].ident() {
+                Some("HashMap" | "HashSet") => {
+                    raw.push((Rule::HashCollection, toks[i].line, toks[i].col));
+                }
+                Some("thread_rng") => {
+                    raw.push((Rule::AmbientNondet, toks[i].line, toks[i].col));
+                }
+                Some("Instant" | "SystemTime")
+                    if path_sep(i + 1)
+                        && toks.get(i + 3).and_then(|t| t.ident()) == Some("now") =>
+                {
+                    raw.push((Rule::AmbientNondet, toks[i].line, toks[i].col));
+                }
+                Some("rand")
+                    if path_sep(i + 1)
+                        && toks.get(i + 3).and_then(|t| t.ident()) == Some("random") =>
+                {
+                    raw.push((Rule::AmbientNondet, toks[i].line, toks[i].col));
+                }
+                Some("env")
+                    if path_sep(i + 1)
+                        && toks
+                            .get(i + 3)
+                            .and_then(|t| t.ident())
+                            .is_some_and(env_read) =>
+                {
+                    raw.push((Rule::AmbientNondet, toks[i].line, toks[i].col));
+                }
+                Some(id)
+                    if !is_time_boundary(path)
+                        && is_time_ident(id)
+                        && toks.get(i + 1).and_then(|t| t.ident()) == Some("as")
+                        && toks
+                            .get(i + 2)
+                            .and_then(|t| t.ident())
+                            .is_some_and(|t| NUMERIC_TYPES.contains(&t)) =>
+                {
+                    raw.push((Rule::RawTimeCast, toks[i].line, toks[i].col));
+                }
+                _ => {}
+            }
+            // panic-policy: `.unwrap()` / `.expect(` in library code.
+            if class == FileClass::Library
+                && toks[i].is_punct('.')
+                && toks
+                    .get(i + 1)
+                    .and_then(|t| t.ident())
+                    .is_some_and(|id| id == "unwrap" || id == "expect")
+                && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+            {
+                raw.push((Rule::PanicPolicy, toks[i + 1].line, toks[i + 1].col));
+            }
+        }
+    }
+
+    // Apply allow directives: a directive suppresses matching diagnostics
+    // on its own line and the line directly below.
+    let mut diags = Vec::new();
+    for (rule, line, col) in raw {
+        let mut suppressed = false;
+        for d in lexed.directives.iter_mut() {
+            if d.rule == Some(rule) && d.has_reason && (d.line == line || d.line + 1 == line) {
+                d.used = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed && cfg.level(rule) != Level::Allow {
+            diags.push(make_diag(rule, cfg, path, line, col, &lines));
+        }
+    }
+
+    // Meta-rules over the directives themselves.
+    for d in &lexed.directives {
+        match d.rule {
+            Some(rule) if d.has_reason => {
+                // Only meaningful when the annotated rule is enforced at all.
+                if !d.used
+                    && cfg.level(rule) != Level::Allow
+                    && cfg.level(Rule::UnusedAllow) != Level::Allow
+                {
+                    diags.push(make_diag(
+                        Rule::UnusedAllow,
+                        cfg,
+                        path,
+                        d.line,
+                        d.col,
+                        &lines,
+                    ));
+                }
+            }
+            _ => {
+                if cfg.level(Rule::MalformedAllow) != Level::Allow {
+                    diags.push(make_diag(
+                        Rule::MalformedAllow,
+                        cfg,
+                        path,
+                        d.line,
+                        d.col,
+                        &lines,
+                    ));
+                }
+            }
+        }
+    }
+
+    diags.sort_by_key(|d| (d.line, d.col, d.rule));
+    diags
+}
+
+fn make_diag(
+    rule: Rule,
+    cfg: &Config,
+    path: &str,
+    line: u32,
+    col: u32,
+    lines: &[&str],
+) -> Diagnostic {
+    Diagnostic {
+        rule,
+        level: cfg.level(rule),
+        file: path.to_string(),
+        line,
+        col,
+        snippet: lines
+            .get(line as usize - 1)
+            .map_or(String::new(), |l| l.trim().to_string()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Directory walking
+// ---------------------------------------------------------------------------
+
+/// Collect every `.rs` file under `root`, sorted for deterministic output.
+pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if root.is_file() {
+        out.push(root.to_path_buf());
+        return Ok(out);
+    }
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Analyze every `.rs` file under each root. Paths in diagnostics are
+/// reported relative to `strip_prefix` when possible.
+pub fn analyze_paths(
+    roots: &[PathBuf],
+    strip_prefix: &Path,
+    cfg: &Config,
+) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for root in roots {
+        for file in collect_rs_files(root)? {
+            let display = file
+                .strip_prefix(strip_prefix)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let src = std::fs::read_to_string(&file)?;
+            diags.extend(analyze_source(&display, &src, cfg));
+        }
+    }
+    Ok(diags)
+}
+
+/// Process exit code for a finished run: nonzero iff anything denied.
+pub fn exit_code(diags: &[Diagnostic]) -> i32 {
+    i32::from(diags.iter().any(|d| d.level == Level::Deny))
+}
+
+// ---------------------------------------------------------------------------
+// Fixture tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        analyze_source("crates/simkit/src/lib.rs", src, &Config::default())
+    }
+
+    fn rules_of(diags: &[Diagnostic]) -> Vec<Rule> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn flags_hash_collections_with_position() {
+        let d = lint("use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32>; }\n");
+        assert_eq!(
+            rules_of(&d),
+            vec![Rule::HashCollection, Rule::HashCollection]
+        );
+        assert_eq!((d[0].line, d[0].col), (1, 23));
+        assert_eq!(d[0].snippet, "use std::collections::HashMap;");
+        assert_eq!(d[1].line, 2);
+        assert_eq!(exit_code(&d), 1);
+    }
+
+    #[test]
+    fn flags_ambient_nondeterminism() {
+        let d = lint(
+            "fn f() {\n    let t = Instant::now();\n    let u = std::time::SystemTime::now();\n    \
+             let r = rand::thread_rng();\n    let x: f64 = rand::random();\n    \
+             let e = std::env::var(\"SEED\");\n}\n",
+        );
+        assert_eq!(d.len(), 5);
+        assert!(d.iter().all(|d| d.rule == Rule::AmbientNondet));
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[4].line, 6);
+    }
+
+    #[test]
+    fn flags_raw_time_casts_but_not_elsewhere_idents() {
+        let d = lint(
+            "fn f(busy_ns: u64, n: u64) -> f64 {\n    let a = busy_ns as f64;\n    \
+             let b = n as f64;\n    let snow = n; let c = snow as f64;\n    a + b + c\n}\n",
+        );
+        assert_eq!(rules_of(&d), vec![Rule::RawTimeCast]);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn time_boundary_file_is_exempt_from_casts() {
+        let d = analyze_source(
+            "crates/simkit/src/time.rs",
+            "pub fn ns_to_ms(ns: u64) -> f64 { ns as f64 / 1e6 }\nfn g(t_ns: u64) { t_ns as f64; }\n",
+            &Config::default(),
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn flags_unwrap_and_expect_in_library_code_only() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() + x.expect(\"y\") }\n";
+        let d = lint(src);
+        assert_eq!(rules_of(&d), vec![Rule::PanicPolicy, Rule::PanicPolicy]);
+        // Same source in a binary or a test file: exempt.
+        for path in [
+            "crates/bench/src/bin/figures.rs",
+            "crates/raidsim/src/sim/tests.rs",
+            "tests/end_to_end.rs",
+        ] {
+            assert!(analyze_source(path, src, &Config::default()).is_empty());
+        }
+    }
+
+    #[test]
+    fn cfg_test_items_are_exempt() {
+        let d = lint(
+            "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n    \
+             #[test]\n    fn t() { Some(1).unwrap(); let _ = Instant::now(); }\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+        // …including `#[test] fn` outside a module and `mod tests;` forms.
+        let d = lint("#[test]\nfn t() { Some(1).unwrap(); }\n#[cfg(test)]\nmod tests;\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn code_after_test_module_is_still_checked() {
+        let d = lint(
+            "#[cfg(test)]\nmod tests { fn t() { Some(1).unwrap(); } }\n\
+             pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        );
+        assert_eq!(rules_of(&d), vec![Rule::PanicPolicy]);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn allow_directive_suppresses_same_and_next_line() {
+        let d = lint(
+            "// simlint::allow(panic-policy): slab indices are always live\n\
+             pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+        let d = lint(
+            "pub fn f(x: Option<u32>) -> u32 { x.unwrap() } // simlint::allow(panic-policy): ok\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let d = lint(
+            "// simlint::allow(panic-policy)\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        );
+        assert_eq!(rules_of(&d), vec![Rule::MalformedAllow, Rule::PanicPolicy]);
+    }
+
+    #[test]
+    fn allow_of_unknown_rule_is_malformed() {
+        let d = lint("// simlint::allow(no-such-rule): reason\npub fn f() {}\n");
+        assert_eq!(rules_of(&d), vec![Rule::MalformedAllow]);
+    }
+
+    #[test]
+    fn unused_allow_is_reported() {
+        let d = lint("// simlint::allow(hash-collection): stale excuse\npub fn f() {}\n");
+        assert_eq!(rules_of(&d), vec![Rule::UnusedAllow]);
+        assert_eq!(d[0].level, Level::Warn);
+        assert_eq!(exit_code(&d), 0, "warnings alone never fail the run");
+    }
+
+    #[test]
+    fn strings_comments_and_lifetimes_never_fire() {
+        let d = lint(
+            "/* HashMap in /* nested */ comments */\n\
+             pub fn f<'a>(s: &'a str) -> String {\n    \
+             let c = 'h'; let esc = '\\'';\n    \
+             let x = \"HashMap Instant::now .unwrap()\";\n    \
+             let y = r#\"thread_rng \"quoted\" SystemTime::now\"#;\n    \
+             format!(\"{x}{y}{c}{esc}\")\n}\n// HashMap mentioned in prose is fine\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn levels_and_json_output() {
+        let mut cfg = Config::default();
+        cfg.set_all(Level::Warn);
+        let d = analyze_source(
+            "crates/simkit/src/lib.rs",
+            "use std::collections::HashMap;\n",
+            &cfg,
+        );
+        assert_eq!(d[0].level, Level::Warn);
+        assert_eq!(exit_code(&d), 0);
+        cfg.set_level(Rule::HashCollection, Level::Deny);
+        let d = analyze_source(
+            "crates/simkit/src/lib.rs",
+            "use std::collections::HashMap;\n",
+            &cfg,
+        );
+        assert_eq!(exit_code(&d), 1);
+
+        let json = to_json(&d);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"rule\":\"hash-collection\""));
+        assert!(json.contains("\"line\":1"));
+        // The snippet is embedded with quotes escaped.
+        assert!(json.contains("use std::collections::HashMap;"));
+    }
+
+    #[test]
+    fn diagnostic_display_has_file_line_col_and_hint() {
+        let d = lint("use std::collections::HashSet;\n");
+        let text = d[0].to_string();
+        assert!(text.contains("deny[hash-collection]"), "{text}");
+        assert!(text.contains("crates/simkit/src/lib.rs:1:23"), "{text}");
+        assert!(text.contains("help:"), "{text}");
+    }
+}

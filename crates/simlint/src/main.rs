@@ -1,0 +1,146 @@
+//! CLI for the simlint determinism pass.
+//!
+//! ```text
+//! cargo run -p simlint -- --deny                 # CI gate: everything denied
+//! cargo run -p simlint -- --warn hash-collection # demote one rule
+//! cargo run -p simlint -- --format json          # machine-readable output
+//! cargo run -p simlint -- path/to/file.rs        # explicit targets
+//! ```
+
+use simlint::{analyze_paths, exit_code, to_json, Config, Level, Rule, RULES};
+use std::path::PathBuf;
+
+/// The sim-core crates: the determinism surface of the workspace. The
+/// experiment harness (`bench`), the stats crate, and the vendored stand-ins
+/// are driver/reporting code and may use wall clocks freely.
+const SIM_CORE: [&str; 6] = [
+    "crates/simkit/src",
+    "crates/raidsim/src",
+    "crates/diskmodel/src",
+    "crates/nvcache/src",
+    "crates/iochannel/src",
+    "crates/tracegen/src",
+];
+
+const USAGE: &str = "\
+simlint — determinism & invariant lints for the sim-core crates
+
+USAGE:
+    cargo run -p simlint -- [OPTIONS] [PATHS…]
+
+OPTIONS:
+    --deny [RULE]     enforce every rule (or just RULE) as an error
+    --warn [RULE]     report every rule (or just RULE) without failing
+    --allow RULE      disable RULE entirely
+    --format FMT      `text` (default) or `json`
+    --root DIR        workspace root (default: autodetected)
+    --list-rules      print the rules and their default levels
+    -h, --help        this help
+
+With no PATHS, the six sim-core crates are linted. A site opts out with
+`// simlint::allow(<rule>): <reason>` on the offending or preceding line.";
+
+fn main() {
+    match run() {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("simlint: error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run() -> Result<i32, String> {
+    let mut cfg = Config::default();
+    let mut format_json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" | "--warn" | "--allow" => {
+                let level = match arg.as_str() {
+                    "--deny" => Level::Deny,
+                    "--warn" => Level::Warn,
+                    _ => Level::Allow,
+                };
+                // An immediately following rule name scopes the flag; plain
+                // `--deny`/`--warn` applies to every rule.
+                let scoped = args.peek().and_then(|next| Rule::from_name(next));
+                if scoped.is_some() {
+                    args.next();
+                }
+                match scoped {
+                    Some(rule) => cfg.set_level(rule, level),
+                    None if level == Level::Allow => {
+                        return Err("--allow requires a rule name (refusing to disable \
+                                    every rule at once)"
+                            .into());
+                    }
+                    None => cfg.set_all(level),
+                }
+            }
+            "--format" => {
+                let fmt = args.next().ok_or("--format requires `text` or `json`")?;
+                match fmt.as_str() {
+                    "json" => format_json = true,
+                    "text" => format_json = false,
+                    other => return Err(format!("unknown format `{other}`")),
+                }
+            }
+            "--root" => {
+                root = Some(PathBuf::from(
+                    args.next().ok_or("--root requires a directory")?,
+                ));
+            }
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{:<16} (default: {})", r.name(), r.default_level().name());
+                    println!("    {}", r.hint());
+                }
+                return Ok(0);
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}` (see --help)"));
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+
+    // Workspace root: the parent of this crate's `crates/` directory, so
+    // the tool works from any invocation directory.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("crate lives at <root>/crates/simlint")
+            .to_path_buf()
+    });
+    let roots: Vec<PathBuf> = if paths.is_empty() {
+        SIM_CORE.iter().map(|p| root.join(p)).collect()
+    } else {
+        paths
+    };
+
+    let diags = analyze_paths(&roots, &root, &cfg).map_err(|e| e.to_string())?;
+
+    if format_json {
+        println!("{}", to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}\n");
+        }
+        let denies = diags.iter().filter(|d| d.level == Level::Deny).count();
+        let warns = diags.len() - denies;
+        eprintln!(
+            "simlint: {} file root(s) checked — {denies} error(s), {warns} warning(s)",
+            roots.len()
+        );
+    }
+    Ok(exit_code(&diags))
+}

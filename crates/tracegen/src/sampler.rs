@@ -27,8 +27,11 @@ impl Zipf {
         for c in &mut cdf {
             *c /= total;
         }
-        // Guard against floating-point shortfall at the top end.
-        *cdf.last_mut().unwrap() = 1.0;
+        // Guard against floating-point shortfall at the top end (the table
+        // is never empty: `n > 0` is asserted above).
+        if let Some(top) = cdf.last_mut() {
+            *top = 1.0;
+        }
         Zipf { cdf }
     }
 

@@ -41,7 +41,7 @@ fn main() {
             ));
         }
     }
-    let named: Vec<sweep::NamedRun> = runs
+    let named: Vec<sweep::NamedRun<'_>> = runs
         .iter()
         .map(|(_, _, _, r)| sweep::NamedRun::new(r.label.clone(), r.config.clone(), r.trace))
         .collect();

@@ -39,7 +39,7 @@ fn field(line: &str, key: &str) -> u64 {
         .take_while(|c| c.is_ascii_digit())
         .collect::<String>()
         .parse()
-        .unwrap()
+        .unwrap_or_else(|e| panic!("bad {key} in {line}: {e}"))
 }
 
 const PHASES: [&str; 8] = [
