@@ -43,7 +43,13 @@ fn main() {
 
     eprintln!("generating workloads…");
     let t0 = std::time::Instant::now();
-    let w = Workloads::load();
+    let w = match Workloads::load() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     eprintln!(
         "traces ready in {:.1?} (Trace 1: {} reqs @ scale {}, Trace 2: {} reqs)\n",
         t0.elapsed(),

@@ -16,6 +16,7 @@
 //! and `EXPERIMENTS.md` records both sides per experiment.
 
 pub mod experiments;
+pub mod perf;
 
 use tracegen::{SynthSpec, Trace};
 
@@ -30,16 +31,32 @@ pub struct Workloads {
 impl Workloads {
     /// Generate both traces. Trace 1's scale comes from `RAIDTP_T1_SCALE`
     /// (0 < scale ≤ 1), defaulting to 0.1.
-    pub fn load() -> Workloads {
-        let t1_scale = std::env::var("RAIDTP_T1_SCALE")
-            .ok()
-            .and_then(|v| v.parse::<f64>().ok())
-            .filter(|&v| v > 0.0 && v <= 1.0)
-            .unwrap_or(0.1);
-        Workloads {
+    ///
+    /// A set-but-invalid `RAIDTP_T1_SCALE` is an error, not a silent
+    /// fallback: simulating at an unintended scale corrupts every number
+    /// the harness then prints.
+    pub fn load() -> Result<Workloads, String> {
+        let t1_scale = Self::t1_scale_from_env(std::env::var("RAIDTP_T1_SCALE").ok().as_deref())?;
+        Ok(Workloads {
             trace1: SynthSpec::trace1().scaled(t1_scale).generate(),
             trace2: SynthSpec::trace2().generate(),
             t1_scale,
+        })
+    }
+
+    /// Validate an optional `RAIDTP_T1_SCALE` value (split out for tests).
+    fn t1_scale_from_env(var: Option<&str>) -> Result<f64, String> {
+        match var {
+            None => Ok(0.1),
+            Some(v) => match v.parse::<f64>() {
+                Ok(s) if s > 0.0 && s <= 1.0 => Ok(s),
+                Ok(s) => Err(format!(
+                    "RAIDTP_T1_SCALE={s} is out of range: need 0 < scale <= 1"
+                )),
+                Err(_) => Err(format!(
+                    "RAIDTP_T1_SCALE=`{v}` is not a number (need 0 < scale <= 1)"
+                )),
+            },
         }
     }
 
@@ -67,5 +84,18 @@ mod tests {
         assert!(!w.trace1.is_empty());
         assert!(!w.trace2.is_empty());
         assert_eq!(w.named()[0].0, "Trace 1");
+    }
+
+    #[test]
+    fn t1_scale_validation() {
+        assert_eq!(Workloads::t1_scale_from_env(None), Ok(0.1));
+        assert_eq!(Workloads::t1_scale_from_env(Some("0.25")), Ok(0.25));
+        assert_eq!(Workloads::t1_scale_from_env(Some("1")), Ok(1.0));
+        for bad in ["0", "-0.5", "1.5", "nan", "ten", ""] {
+            assert!(
+                Workloads::t1_scale_from_env(Some(bad)).is_err(),
+                "`{bad}` must be rejected, not silently replaced by 0.1"
+            );
+        }
     }
 }

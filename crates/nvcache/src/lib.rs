@@ -22,11 +22,14 @@
 //!   without reading old parity) or an XOR *delta* (old parity must still
 //!   be read, Section 3.4).
 //!
-//! Determinism: the block index is a `BTreeMap`, so destage grouping and
-//! eviction order are reproducible run-to-run.
+//! Determinism: block lookups go through a flat open-addressing table with
+//! a fixed hash function (never iterated), while everything order-sensitive
+//! — destage grouping, eviction — walks either the intrusive LRU list or an
+//! ordered set of dirty blocks, so results are reproducible run-to-run.
 
 pub mod lru;
 pub mod spool;
+mod table;
 
 pub use lru::{BlockKey, CacheStats, DestageGroup, DirtyEviction, NvCache};
 pub use spool::{ParitySpool, SpoolEntry};

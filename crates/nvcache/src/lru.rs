@@ -1,7 +1,8 @@
 //! LRU cache with dirty/old-data tracking and destage grouping.
 
+use crate::table::BlockMap;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 
 /// Identity of a logical block: (logical disk, block within disk).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -93,7 +94,15 @@ pub struct NvCache {
     reserved: usize,
     nodes: Vec<Node>,
     free: Vec<usize>,
-    index: BTreeMap<(BlockKey, bool), usize>,
+    index: BlockMap,
+    /// Dirty data blocks that are *not* in-flight to disk, in (disk, block)
+    /// order — the exact iteration order destage grouping depends on. Kept
+    /// incrementally so [`NvCache::collect_destage`] never scans the index.
+    collectable: BTreeSet<BlockKey>,
+    /// Count of dirty data blocks, including ones currently destaging.
+    /// Maintained on every clean↔dirty transition so [`NvCache::dirty_count`]
+    /// is O(1) — it used to be a full index scan on every destage tick.
+    dirty_len: usize,
     head: usize,
     tail: usize,
     len: usize,
@@ -108,7 +117,9 @@ impl NvCache {
             reserved: 0,
             nodes: Vec::with_capacity(capacity_blocks + 1),
             free: Vec::new(),
-            index: BTreeMap::new(),
+            index: BlockMap::with_capacity(capacity_blocks + 1),
+            collectable: BTreeSet::new(),
+            dirty_len: 0,
             head: NIL,
             tail: NIL,
             len: 0,
@@ -148,26 +159,30 @@ impl NvCache {
 
     /// Non-touching presence probe (diagnostics/tests).
     pub fn contains(&self, key: BlockKey) -> bool {
-        self.index.contains_key(&(key, false))
+        self.index.contains_key((key, false))
     }
 
     /// Whether the data block is dirty.
     pub fn is_dirty(&self, key: BlockKey) -> bool {
         self.index
-            .get(&(key, false))
-            .is_some_and(|&i| self.nodes[i].dirty)
+            .get((key, false))
+            .is_some_and(|i| self.nodes[i].dirty)
     }
 
     /// Whether an old-data copy for `key` is held.
     pub fn has_old_copy(&self, key: BlockKey) -> bool {
-        self.index.contains_key(&(key, true))
+        self.index.contains_key((key, true))
     }
 
+    /// Dirty data blocks, including ones currently destaging. O(1).
     pub fn dirty_count(&self) -> usize {
-        self.index
-            .values()
-            .filter(|&&i| !self.nodes[i].is_old && self.nodes[i].dirty)
-            .count()
+        self.dirty_len
+    }
+
+    /// A data block turned dirty: it is destageable until pinned or cleaned.
+    fn mark_dirty(&mut self, key: BlockKey) {
+        self.dirty_len += 1;
+        self.collectable.insert(key);
     }
 
     // ------------------------------------------------------------------
@@ -221,8 +236,14 @@ impl NvCache {
 
     fn remove_entry(&mut self, i: usize) {
         let key = (self.nodes[i].key, self.nodes[i].is_old);
+        if !self.nodes[i].is_old && self.nodes[i].dirty {
+            // Only evictions reach here with a dirty block (destaging blocks
+            // are pinned), so it is always still collectable.
+            self.dirty_len -= 1;
+            self.collectable.remove(&key.0);
+        }
         self.unlink(i);
-        self.index.remove(&key);
+        self.index.remove(key);
         self.free.push(i);
         self.len -= 1;
     }
@@ -244,7 +265,7 @@ impl NvCache {
             if self.nodes[cand].is_old {
                 // Dropping an old copy: the owner loses its saved pre-read.
                 let owner = (self.nodes[cand].key, false);
-                if let Some(&oi) = self.index.get(&owner) {
+                if let Some(oi) = self.index.get(owner) {
                     self.nodes[oi].has_old = false;
                 }
                 self.remove_entry(cand);
@@ -252,7 +273,7 @@ impl NvCache {
                 let key = self.nodes[cand].key;
                 let had_old = self.nodes[cand].has_old;
                 if had_old {
-                    if let Some(&oi) = self.index.get(&(key, true)) {
+                    if let Some(oi) = self.index.get((key, true)) {
                         self.remove_entry(oi);
                     }
                 }
@@ -287,6 +308,9 @@ impl NvCache {
         let i = self.alloc(node);
         let prev = self.index.insert((key, is_old), i);
         debug_assert!(prev.is_none(), "inserting duplicate cache entry");
+        if dirty && !is_old {
+            self.mark_dirty(key);
+        }
         self.push_mru(i);
         self.len += 1;
         self.evict_to_capacity(evictions);
@@ -303,7 +327,7 @@ impl NvCache {
     pub fn read_probe(&mut self, keys: &[BlockKey]) -> Vec<BlockKey> {
         let mut missing = Vec::new();
         for &k in keys {
-            if let Some(&i) = self.index.get(&(k, false)) {
+            if let Some(i) = self.index.get((k, false)) {
                 self.touch(i);
             } else {
                 missing.push(k);
@@ -320,7 +344,7 @@ impl NvCache {
     /// Insert a block fetched from disk after a read miss (clean).
     pub fn insert_fetched(&mut self, key: BlockKey) -> Vec<DirtyEviction> {
         let mut evictions = Vec::new();
-        if let Some(&i) = self.index.get(&(key, false)) {
+        if let Some(i) = self.index.get((key, false)) {
             self.touch(i);
             return evictions;
         }
@@ -337,7 +361,7 @@ impl NvCache {
         keys: &[BlockKey],
         keep_old: bool,
     ) -> (bool, Vec<DirtyEviction>) {
-        let all_present = keys.iter().all(|&k| self.index.contains_key(&(k, false)));
+        let all_present = keys.iter().all(|&k| self.index.contains_key((k, false)));
         if all_present {
             self.stats.write_hits += 1;
         } else {
@@ -345,13 +369,14 @@ impl NvCache {
         }
         let mut evictions = Vec::new();
         for &k in keys {
-            if let Some(&i) = self.index.get(&(k, false)) {
+            if let Some(i) = self.index.get((k, false)) {
                 self.touch(i);
                 if self.nodes[i].destaging {
                     self.nodes[i].redirtied = true;
                 } else if !self.nodes[i].dirty {
                     self.nodes[i].dirty = true;
-                    if keep_old && !self.index.contains_key(&(k, true)) {
+                    self.mark_dirty(k);
+                    if keep_old && !self.index.contains_key((k, true)) {
                         self.nodes[i].has_old = true;
                         self.insert_node(k, true, false, false, &mut evictions);
                     }
@@ -371,18 +396,17 @@ impl NvCache {
 
     /// Collect every dirty, not-yet-destaging block into runs of consecutive
     /// blocks per logical disk (split where old-copy availability changes),
-    /// marking them in-flight. Deterministic: the index is ordered.
+    /// marking them in-flight. Deterministic: the collectable set is ordered
+    /// by (disk, block) — the same order the old full-index scan produced —
+    /// but this is O(dirty), not O(cache).
     pub fn collect_destage(&mut self) -> Vec<DestageGroup> {
         let mut groups: Vec<DestageGroup> = Vec::new();
-        let picks: Vec<(BlockKey, bool, usize)> = self
-            .index
-            .iter()
-            .filter(|&(&(_, is_old), &i)| {
-                !is_old && self.nodes[i].dirty && !self.nodes[i].destaging
-            })
-            .map(|(&(k, _), &i)| (k, self.nodes[i].has_old, i))
-            .collect();
-        for (key, has_old, i) in picks {
+        for key in std::mem::take(&mut self.collectable) {
+            let Some(i) = self.index.get((key, false)) else {
+                debug_assert!(false, "collectable block {key:?} missing from index");
+                continue;
+            };
+            let has_old = self.nodes[i].has_old;
             self.nodes[i].destaging = true;
             if let Some(last) = groups.last_mut() {
                 if last.disk == key.disk
@@ -409,8 +433,11 @@ impl NvCache {
     pub fn destage_abort(&mut self, group: &DestageGroup) {
         for b in 0..group.nblocks as u64 {
             let key = BlockKey::new(group.disk, group.block + b);
-            if let Some(&i) = self.index.get(&(key, false)) {
+            if let Some(i) = self.index.get((key, false)) {
                 self.nodes[i].destaging = false;
+                if self.nodes[i].dirty {
+                    self.collectable.insert(key);
+                }
             }
         }
     }
@@ -420,7 +447,7 @@ impl NvCache {
     pub fn destage_complete(&mut self, group: &DestageGroup) {
         for b in 0..group.nblocks as u64 {
             let key = BlockKey::new(group.disk, group.block + b);
-            let Some(&i) = self.index.get(&(key, false)) else {
+            let Some(i) = self.index.get((key, false)) else {
                 continue; // evicted under overflow; nothing to settle
             };
             let node = &mut self.nodes[i];
@@ -430,11 +457,14 @@ impl NvCache {
                 // but the old copy now matches what's on disk — drop it and
                 // accept the pre-read on the next destage.
                 node.redirtied = false;
-            } else {
+                self.collectable.insert(key);
+            } else if node.dirty {
                 node.dirty = false;
+                self.dirty_len -= 1;
+                self.collectable.remove(&key);
             }
             self.nodes[i].has_old = false;
-            if let Some(&oi) = self.index.get(&(key, true)) {
+            if let Some(oi) = self.index.get((key, true)) {
                 self.remove_entry(oi);
             }
         }
@@ -673,6 +703,55 @@ mod tests {
         assert!(c.reserve_slots(3).is_none(), "over total capacity");
         c.release_slots(2);
         assert_eq!(c.reserved(), 0);
+    }
+
+    /// Drive a pseudo-random mix of the cache's whole API and verify, every
+    /// step, that the O(1) dirty counter equals a recount through the public
+    /// `is_dirty` probe. Guards the incremental bookkeeping that replaced
+    /// the old full-index scan.
+    #[test]
+    fn dirty_counter_matches_recount_under_churn() {
+        let mut c = NvCache::new(32);
+        let mut in_flight: Vec<DestageGroup> = Vec::new();
+        let mut x = 9u64;
+        for step in 0..5_000u32 {
+            // xorshift: deterministic operation mix.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = BlockKey::new((x % 2) as u32, (x >> 8) % 48);
+            match x % 10 {
+                0..=3 => {
+                    let _ = c.write_access(&[key], x.is_multiple_of(2));
+                }
+                4 | 5 => {
+                    let _ = c.insert_fetched(key);
+                }
+                6 => {
+                    let _ = c.read_probe(&[key]);
+                }
+                7 => {
+                    for g in c.collect_destage() {
+                        if x.is_multiple_of(3) {
+                            c.destage_abort(&g);
+                        } else {
+                            in_flight.push(g);
+                        }
+                    }
+                }
+                _ => {
+                    if !in_flight.is_empty() {
+                        let g = in_flight.remove(0);
+                        c.destage_complete(&g);
+                    }
+                }
+            }
+            let recount = (0..2u32)
+                .flat_map(|d| (0..48u64).map(move |b| BlockKey::new(d, b)))
+                .filter(|&k| c.is_dirty(k))
+                .count();
+            assert_eq!(c.dirty_count(), recount, "step {step}");
+        }
     }
 
     #[test]

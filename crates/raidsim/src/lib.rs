@@ -37,5 +37,5 @@ pub use config::{
     CacheConfig, ObservabilityConfig, Organization, ParityPlacement, SimConfig, SyncPolicy,
 };
 pub use report::{PhaseSample, PhaseWelfords, SimReport};
-pub use sim::Simulator;
+pub use sim::{RunStats, Simulator};
 pub use sweep::{run_all, NamedRun};

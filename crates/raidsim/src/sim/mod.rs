@@ -209,6 +209,17 @@ enum Ev {
     Sample,
 }
 
+/// Engine-level counters of a finished run, reported by
+/// [`Simulator::run_instrumented`]: throughput denominators for the perf
+/// harness, deliberately kept out of [`SimReport`].
+#[derive(Clone, Copy, Debug)]
+pub struct RunStats {
+    /// Total events dispatched by the engine.
+    pub events_processed: u64,
+    /// Future-event-list high-water mark (peak simultaneously pending).
+    pub peak_pending: usize,
+}
+
 /// Trace-driven simulator for one configuration. Construct with
 /// [`Simulator::new`], consume with [`Simulator::run`].
 pub struct Simulator<'t> {
@@ -365,8 +376,13 @@ impl<'t> Simulator<'t> {
             None => None,
         };
 
+        // Pre-size the future-event list and entity slabs from the trace:
+        // pending events and live entities scale with in-flight requests,
+        // a small fraction of trace length, so cap the reservation. Purely
+        // an allocation hint — results are identical without it.
+        let ev_cap = (trace.records.len() / 4).clamp(64, 1 << 14);
         Ok(Simulator {
-            engine: Engine::new(),
+            engine: Engine::with_capacity(ev_cap),
             disks,
             queues: (0..total_disks).map(|_| OpQueue::new()).collect(),
             in_service: vec![None; total_disks],
@@ -379,9 +395,9 @@ impl<'t> Simulator<'t> {
             admission_wait: (0..arrays).map(|_| VecDeque::new()).collect(),
             caches,
             spools,
-            ops: Slab::new(),
-            jobs: Slab::new(),
-            reqs: Slab::new(),
+            ops: Slab::with_capacity(ev_cap),
+            jobs: Slab::with_capacity(ev_cap / 4),
+            reqs: Slab::with_capacity(ev_cap / 2),
             dgroups: Slab::new(),
             arrays,
             dpa,
@@ -430,7 +446,15 @@ impl<'t> Simulator<'t> {
     }
 
     /// Run to completion and produce the report.
-    pub fn run(mut self) -> SimReport {
+    pub fn run(self) -> SimReport {
+        self.run_instrumented().0
+    }
+
+    /// Run to completion, returning the report plus engine-level counters
+    /// (events dispatched, future-event-list high-water mark). The counters
+    /// describe the simulator, not the modeled array, so they live outside
+    /// [`SimReport`] and cannot perturb its serialized form.
+    pub fn run_instrumented(mut self) -> (SimReport, RunStats) {
         if let Some(first) = self.trace.records.first() {
             self.engine.schedule_at(first.at, Ev::Arrive);
         }
@@ -454,7 +478,11 @@ impl<'t> Simulator<'t> {
         if let Some(w) = self.event_log.as_mut() {
             let _ = w.flush();
         }
-        self.report()
+        let stats = RunStats {
+            events_processed: self.engine.events_processed(),
+            peak_pending: self.engine.peak_pending(),
+        };
+        (self.report(), stats)
     }
 
     fn dispatch(&mut self, ev: Ev) {

@@ -18,9 +18,14 @@ impl<T> Default for Slab<T> {
 
 impl<T> Slab<T> {
     pub fn new() -> Slab<T> {
+        Self::with_capacity(0)
+    }
+
+    /// Pre-size for `cap` simultaneously live entities.
+    pub fn with_capacity(cap: usize) -> Slab<T> {
         Slab {
-            items: Vec::new(),
-            free: Vec::new(),
+            items: Vec::with_capacity(cap),
+            free: Vec::with_capacity(cap),
             live: 0,
         }
     }

@@ -7,6 +7,7 @@
 use crate::config::SimConfig;
 use crate::report::SimReport;
 use crate::sim::Simulator;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use tracegen::Trace;
 
 /// One sweep point: a label plus its configuration and input trace (traces
@@ -29,32 +30,58 @@ impl<'a> NamedRun<'a> {
 
 /// Run every sweep point, `threads`-wide, returning reports in input order.
 /// `threads = 0` uses the machine's available parallelism.
+///
+/// Work distribution is a work-stealing loop over an atomic next-index
+/// cursor: each worker repeatedly claims the lowest unclaimed run. Unlike
+/// static chunking — where one chunk of slow runs (e.g. RAID5 at high
+/// load) idles every other worker while its owner grinds through it — the
+/// stragglers end up spread across whoever is free, so wall time tracks
+/// the total work, not the unluckiest chunk.
+///
+/// Which *thread* executes a run never affects its result: every run is an
+/// independent, seed-determined simulation, and results are written back
+/// by input index, so the output is bit-identical to a serial sweep in the
+/// same order.
 pub fn run_all(runs: &[NamedRun<'_>], threads: usize) -> Vec<(String, SimReport)> {
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(4, |n| n.get())
     } else {
         threads
     };
+    let workers = threads.min(runs.len()).max(1);
+    let cursor = AtomicUsize::new(0);
+
+    // Workers return locally collected (index, result) pairs; a worker
+    // panic propagates at scope join. Indexed collection keeps the merge
+    // lock-free without sharing mutable slots across threads.
     let mut out: Vec<Option<(String, SimReport)>> = Vec::with_capacity(runs.len());
     out.resize_with(runs.len(), || None);
-    let workers = threads.min(runs.len()).max(1);
-    let chunk = runs.len().div_ceil(workers).max(1);
-
-    // Each worker owns a disjoint slice of the output: no locking, and a
-    // worker panic propagates when the scope joins.
     std::thread::scope(|scope| {
-        for (run_chunk, out_chunk) in runs.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(move || {
-                for (run, slot) in run_chunk.iter().zip(out_chunk) {
-                    let report = Simulator::new(run.config.clone(), run.trace).run();
-                    *slot = Some((run.label.clone(), report));
-                }
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, (String, SimReport))> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(run) = runs.get(i) else { break };
+                        let report = Simulator::new(run.config.clone(), run.trace).run();
+                        local.push((i, (run.label.clone(), report)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            // Re-raise a worker panic on the caller's thread.
+            let local = h.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+            for (i, result) in local {
+                out[i] = Some(result);
+            }
         }
     });
 
     out.into_iter()
-        // simlint::allow(panic-policy): a worker panic propagates at scope join above, so every slot is filled by the time we get here
+        // simlint::allow(panic-policy): the cursor hands out every index exactly once and worker panics propagate above, so every slot is filled
         .map(|r| r.expect("missing sweep result"))
         .collect()
 }
@@ -88,6 +115,49 @@ mod tests {
                 "parallel run must be bit-identical to serial for {}",
                 org.label()
             );
+        }
+    }
+
+    /// Work stealing must not reorder or cross-wire results: a mixed
+    /// Base/RAID5 grid larger than the worker count comes back in input
+    /// order with every entry bit-identical to its serial run, for any
+    /// thread count (including more workers than runs).
+    #[test]
+    fn work_stealing_preserves_order_and_results() {
+        let trace = SynthSpec::trace2().scaled(0.005).generate();
+        let orgs = [Organization::Base, Organization::Raid5 { striping_unit: 1 }];
+        let runs: Vec<NamedRun<'_>> = (0..8)
+            .map(|i| {
+                let org = orgs[i % 2];
+                NamedRun::new(
+                    format!("{}#{i}", org.label()),
+                    SimConfig::with_organization(org),
+                    &trace,
+                )
+            })
+            .collect();
+        let serial: Vec<String> = runs
+            .iter()
+            .map(|r| {
+                format!(
+                    "{:?}",
+                    Simulator::new(r.config.clone(), r.trace)
+                        .run()
+                        .response_all_ms
+                )
+            })
+            .collect();
+        for threads in [1, 3, 16] {
+            let parallel = run_all(&runs, threads);
+            assert_eq!(parallel.len(), runs.len());
+            for (i, (label, report)) in parallel.iter().enumerate() {
+                assert_eq!(label, &runs[i].label, "order broken at {threads} threads");
+                assert_eq!(
+                    format!("{:?}", report.response_all_ms),
+                    serial[i],
+                    "run {i} differs from serial at {threads} threads"
+                );
+            }
         }
     }
 

@@ -41,9 +41,16 @@ impl<E> Default for Engine<E> {
 
 impl<E> Engine<E> {
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Pre-size the event queue for `cap` simultaneously pending events
+    /// (e.g. from the driving trace's length), avoiding heap regrowth in
+    /// the middle of a run.
+    pub fn with_capacity(cap: usize) -> Self {
         Engine {
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(cap),
             processed: 0,
         }
     }
@@ -64,6 +71,13 @@ impl<E> Engine<E> {
     #[inline]
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Most events simultaneously pending so far (future-event-list
+    /// high-water mark; reported by the perf harness as queue depth).
+    #[inline]
+    pub fn peak_pending(&self) -> usize {
+        self.queue.peak_len()
     }
 
     /// Schedule an event at an absolute time, which must not precede `now`.
@@ -107,7 +121,7 @@ impl<E> Engine<E> {
     }
 
     /// Timestamp of the next pending event, if any.
-    pub fn next_time(&mut self) -> Option<SimTime> {
+    pub fn next_time(&self) -> Option<SimTime> {
         self.queue.peek_time()
     }
 }

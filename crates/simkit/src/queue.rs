@@ -1,22 +1,43 @@
 //! Future-event list: a binary-heap priority queue keyed on
-//! ([`SimTime`], insertion sequence) with tombstone cancellation.
+//! ([`SimTime`], insertion sequence) with O(1) slot-table cancellation.
 //!
 //! Ties are broken by insertion order so that two events scheduled for the
 //! same instant fire in the order they were scheduled. This determinism
 //! matters: disk-array response times are sensitive to who wins a
 //! simultaneous arrival at a queue.
+//!
+//! ## Slot table
+//!
+//! Every scheduled event owns a slot in a `Vec`-backed table; its
+//! [`EventId`] is the (slot, generation) pair. Cancellation flips the
+//! slot's live bit — O(1), no tree walk — and the heap entry is discarded
+//! lazily when it surfaces. Slots are recycled through a free list; the
+//! generation counter bumps on every reuse, so a stale id (fired or
+//! cancelled long ago) can never cancel the slot's new occupant.
+//!
+//! The queue maintains the invariant that the heap's top entry is always
+//! live: `cancel` and `pop` drain dead entries off the top before
+//! returning. That makes [`EventQueue::peek_time`] a true `&self` peek.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::BinaryHeap;
 
 /// Opaque handle to a scheduled event, usable for cancellation.
+///
+/// Internally a (slot, generation) pair into the queue's slot table;
+/// generations make ids single-use, so an id kept past its event's firing
+/// or cancellation is harmlessly rejected even after the slot is reused.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventId(u64);
+pub struct EventId {
+    slot: u32,
+    gen: u32,
+}
 
 struct Entry<E> {
     at: SimTime,
     seq: u64,
+    slot: u32,
     event: E,
 }
 
@@ -42,23 +63,32 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// One slot of the liveness table. `live` is true from `schedule` until the
+/// event is popped or cancelled; `gen` counts reuses of this slot.
+#[derive(Clone, Copy)]
+struct Slot {
+    gen: u32,
+    live: bool,
+}
+
 /// Priority queue of future events.
 ///
 /// `pop` returns events in nondecreasing time order; events with equal
-/// timestamps come out in scheduling order. `cancel` is O(log n): the
-/// entry stays in the heap but is skipped when popped.
+/// timestamps come out in scheduling order (the (time, seq) tie-break).
+/// `cancel` is O(1): the slot's live bit is cleared and the heap entry is
+/// skipped lazily when it reaches the top.
 ///
-/// The bookkeeping sets are `BTreeSet`s, not `HashSet`s: sim-core bans
-/// hash collections outright (see `simlint`) so that nondeterministic
-/// iteration order can never leak into results, even through a future
-/// refactor that starts iterating one of these.
+/// All bookkeeping lives in flat `Vec`s (slot table + free list) — no
+/// ordered sets, no hashing — so the structure is cache-friendly and
+/// trivially deterministic.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    cancelled: BTreeSet<u64>,
-    /// Sequence numbers scheduled but not yet popped or cancelled. Cancel
-    /// consults this so that a stale `EventId` (already fired) is rejected
-    /// instead of planting a tombstone nothing will ever consume.
-    live: BTreeSet<u64>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Scheduled minus popped minus cancelled.
+    live_count: usize,
+    /// High-water mark of `live_count` over the queue's lifetime.
+    peak_live: usize,
     next_seq: u64,
 }
 
@@ -70,75 +100,126 @@ impl<E> Default for EventQueue<E> {
 
 impl<E> EventQueue<E> {
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            cancelled: BTreeSet::new(),
-            live: BTreeSet::new(),
-            next_seq: 0,
-        }
+        Self::with_capacity(0)
     }
 
+    /// Pre-size the heap and slot table for `cap` simultaneously pending
+    /// events (they still grow on demand past that).
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
             heap: BinaryHeap::with_capacity(cap),
-            cancelled: BTreeSet::new(),
-            live: BTreeSet::new(),
+            slots: Vec::with_capacity(cap),
+            free: Vec::with_capacity(cap),
+            live_count: 0,
+            peak_live: 0,
             next_seq: 0,
         }
     }
 
     /// Schedule `event` to fire at absolute time `at`.
     pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize].live = true;
+                s
+            }
+            None => {
+                self.slots.push(Slot { gen: 0, live: true });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let gen = self.slots[slot as usize].gen;
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.live.insert(seq);
-        self.heap.push(Entry { at, seq, event });
-        EventId(seq)
+        self.live_count += 1;
+        if self.live_count > self.peak_live {
+            self.peak_live = self.live_count;
+        }
+        self.heap.push(Entry {
+            at,
+            seq,
+            slot,
+            event,
+        });
+        EventId { slot, gen }
     }
 
     /// Cancel a previously scheduled event. Returns `true` if the event was
-    /// still pending (i.e. not yet popped or already cancelled).
+    /// still pending (i.e. not yet popped or already cancelled). A stale id
+    /// — fired, already cancelled, or from a recycled slot — is rejected by
+    /// the generation check and never touches the slot's current occupant.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if !self.live.remove(&id.0) {
+        let Some(slot) = self.slots.get_mut(id.slot as usize) else {
+            return false;
+        };
+        if slot.gen != id.gen || !slot.live {
             return false;
         }
-        self.cancelled.insert(id.0)
+        slot.live = false;
+        self.live_count -= 1;
+        // Keep the top-of-heap-is-live invariant for `peek_time`.
+        self.drain_dead();
+        true
     }
 
-    /// Remove and return the earliest pending event, skipping tombstones.
+    /// Retire `slot` back to the free list, invalidating outstanding ids.
+    #[inline]
+    fn release_slot(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.gen = s.gen.wrapping_add(1);
+        s.live = false;
+        self.free.push(slot);
+    }
+
+    /// Pop dead (cancelled) entries off the top of the heap so the top is
+    /// always a live event.
+    fn drain_dead(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.slots[top.slot as usize].live {
+                break;
+            }
+            let slot = top.slot;
+            self.heap.pop();
+            self.release_slot(slot);
+        }
+    }
+
+    /// Remove and return the earliest pending event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        // `drain_dead` after every mutation keeps the top live, so the
+        // first entry is the answer; the loop is belt-and-braces.
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
+            let live = self.slots[entry.slot as usize].live;
+            self.release_slot(entry.slot);
+            if !live {
                 continue;
             }
-            self.live.remove(&entry.seq);
+            self.live_count -= 1;
+            self.drain_dead();
             return Some((entry.at, entry.event));
         }
         None
     }
 
     /// Timestamp of the earliest pending event without removing it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Drain leading tombstones so the peeked time is a live event.
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-            } else {
-                return Some(entry.at);
-            }
-        }
-        None
+    pub fn peek_time(&self) -> Option<SimTime> {
+        // Invariant: the heap's top entry is live (dead entries are drained
+        // by `cancel` and `pop`), so no mutation is needed here.
+        self.heap.peek().map(|e| e.at)
     }
 
     /// Number of live (non-cancelled) pending events.
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.live_count
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Most events simultaneously pending over the queue's lifetime.
+    pub fn peak_len(&self) -> usize {
+        self.peak_live
     }
 }
 
@@ -187,7 +268,7 @@ mod tests {
     #[test]
     fn cancel_unknown_id_is_noop() {
         let mut q: EventQueue<()> = EventQueue::new();
-        assert!(!q.cancel(EventId(42)));
+        assert!(!q.cancel(EventId { slot: 42, gen: 0 }));
     }
 
     /// Regression: cancelling an id that already fired used to insert a
@@ -222,6 +303,47 @@ mod tests {
         assert!(q.is_empty());
     }
 
+    /// A fired event's slot is recycled by the next schedule; the stale id
+    /// must not cancel (or even see) the slot's new occupant.
+    #[test]
+    fn stale_id_does_not_cancel_slot_reuser() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_ms(1), "a");
+        assert_eq!(q.pop(), Some((SimTime::from_ms(1), "a")));
+        // Slot is reused with a bumped generation.
+        let b = q.schedule(SimTime::from_ms(2), "b");
+        assert!(!q.cancel(a), "stale id must not cancel the new occupant");
+        assert_eq!(q.len(), 1, "the new occupant is untouched");
+        assert_eq!(q.pop(), Some((SimTime::from_ms(2), "b")));
+        assert!(!q.cancel(b), "fired reuser's own id is stale too");
+    }
+
+    /// Same, when the first occupant was cancelled rather than popped: the
+    /// cancelled id stays dead through the slot's next life.
+    #[test]
+    fn cancelled_id_stays_dead_after_slot_reuse() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_ms(1), "a");
+        assert!(q.cancel(a));
+        // The dead entry was drained off the heap, so the slot is free.
+        let b = q.schedule(SimTime::from_ms(3), "b");
+        assert!(!q.cancel(a), "cancelled id is single-use");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_ms(3), "b")));
+        assert!(!q.cancel(b));
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Ids from consecutive lives of one slot are distinct values.
+    #[test]
+    fn recycled_slot_yields_distinct_ids() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_ms(1), 0);
+        q.pop();
+        let b = q.schedule(SimTime::from_ms(1), 1);
+        assert_ne!(a, b, "generation must differ on slot reuse");
+    }
+
     #[test]
     fn peek_time_skips_tombstones() {
         let mut q = EventQueue::new();
@@ -231,6 +353,121 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_ms(9)));
         assert_eq!(q.pop(), Some((SimTime::from_ms(9), "b")));
         assert_eq!(q.peek_time(), None);
+    }
+
+    /// Cancelling a buried (non-top) entry leaves it in the heap; it must
+    /// be skipped when it later surfaces, and `peek_time` must never report
+    /// it.
+    #[test]
+    fn buried_cancellation_is_skipped_when_it_surfaces() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ms(1), "a");
+        let b = q.schedule(SimTime::from_ms(2), "b");
+        q.schedule(SimTime::from_ms(3), "c");
+        assert!(q.cancel(b));
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(1)));
+        assert_eq!(q.pop(), Some((SimTime::from_ms(1), "a")));
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(3)));
+        assert_eq!(q.pop(), Some((SimTime::from_ms(3), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak_len(), 0);
+        q.schedule(SimTime::from_ms(1), "a");
+        q.schedule(SimTime::from_ms(2), "b");
+        q.schedule(SimTime::from_ms(3), "c");
+        assert_eq!(q.peak_len(), 3);
+        q.pop();
+        q.pop();
+        q.schedule(SimTime::from_ms(4), "d");
+        assert_eq!(q.peak_len(), 3, "peak is a lifetime high-water mark");
+    }
+
+    /// Naive reference model: the observable behavior the slot-table queue
+    /// must reproduce exactly. Linear scans everywhere — unambiguously
+    /// correct, hopelessly slow.
+    struct ModelQueue {
+        // (time_ns, seq, cancelled)
+        pending: Vec<(u64, u64, bool)>,
+        next_seq: u64,
+    }
+
+    impl ModelQueue {
+        fn new() -> Self {
+            ModelQueue {
+                pending: Vec::new(),
+                next_seq: 0,
+            }
+        }
+
+        fn schedule(&mut self, t: u64) -> u64 {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.pending.push((t, seq, false));
+            seq
+        }
+
+        /// Cancel by scheduling sequence; true iff still pending.
+        fn cancel(&mut self, seq: u64) -> bool {
+            match self.pending.iter_mut().find(|e| e.1 == seq && !e.2) {
+                Some(e) => {
+                    e.2 = true;
+                    true
+                }
+                None => false,
+            }
+        }
+
+        fn pop(&mut self) -> Option<(u64, u64)> {
+            let i = self
+                .pending
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| !e.2)
+                .min_by_key(|(_, e)| (e.0, e.1))
+                .map(|(i, _)| i)?;
+            let e = self.pending.remove(i);
+            // Cancelled entries at or before the popped one can never be
+            // observed again; drop them like the real queue drops tombstones.
+            self.pending.retain(|x| !x.2);
+            Some((e.0, e.1))
+        }
+
+        fn peek_time(&self) -> Option<u64> {
+            self.pending
+                .iter()
+                .filter(|e| !e.2)
+                .map(|e| (e.0, e.1))
+                .min()
+                .map(|(t, _)| t)
+        }
+
+        fn len(&self) -> usize {
+            self.pending.iter().filter(|e| !e.2).count()
+        }
+    }
+
+    /// One step of the differential interpreter.
+    #[derive(Clone, Debug)]
+    enum Op {
+        Schedule(u64),
+        /// Cancel the id issued by the i-th Schedule so far (mod count);
+        /// may be live, fired, cancelled, or from a since-recycled slot.
+        Cancel(usize),
+        Pop,
+        Peek,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => (0u64..10_000).prop_map(Op::Schedule),
+            2 => (0usize..64).prop_map(Op::Cancel),
+            2 => Just(Op::Pop),
+            1 => Just(Op::Peek),
+        ]
     }
 
     proptest! {
@@ -264,6 +501,61 @@ mod tests {
             live.sort();
             out.sort();
             prop_assert_eq!(live, out);
+        }
+
+        /// Differential property: drive the slot-table queue and the naive
+        /// reference model through a random interleaving of schedule /
+        /// cancel / pop / peek — including cancels of stale and recycled
+        /// ids — and require identical observable behavior at every step.
+        #[test]
+        fn prop_differential_against_model(
+            ops in proptest::collection::vec(op_strategy(), 1..300),
+        ) {
+            let mut real = EventQueue::new();
+            let mut model = ModelQueue::new();
+            // i-th Schedule's handles in both worlds: (EventId, model seq).
+            let mut issued: Vec<(EventId, u64)> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Schedule(t) => {
+                        let seq = model.schedule(t);
+                        let id = real.schedule(SimTime::from_ns(t), seq);
+                        issued.push((id, seq));
+                    }
+                    Op::Cancel(i) => {
+                        if issued.is_empty() {
+                            continue;
+                        }
+                        let (id, seq) = issued[i % issued.len()];
+                        prop_assert_eq!(
+                            real.cancel(id),
+                            model.cancel(seq),
+                            "cancel of schedule #{} disagrees", i
+                        );
+                    }
+                    Op::Pop => {
+                        let got = real.pop().map(|(at, seq)| (at.as_ns(), seq));
+                        prop_assert_eq!(got, model.pop());
+                    }
+                    Op::Peek => {
+                        let got = real.peek_time().map(|t| t.as_ns());
+                        prop_assert_eq!(got, model.peek_time());
+                    }
+                }
+                prop_assert_eq!(real.len(), model.len());
+                prop_assert_eq!(real.is_empty(), model.len() == 0);
+                // peek is pure: always consistent with len.
+                prop_assert_eq!(real.peek_time().is_some(), !real.is_empty());
+            }
+            // Drain both to the end: same residue in the same order.
+            loop {
+                let got = real.pop().map(|(at, seq)| (at.as_ns(), seq));
+                let want = model.pop();
+                prop_assert_eq!(got, want);
+                if got.is_none() {
+                    break;
+                }
+            }
         }
     }
 }
