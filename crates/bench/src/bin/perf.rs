@@ -232,7 +232,11 @@ fn sweep_grid(trace: &tracegen::Trace, n: usize, threads: usize, seed: u64) {
     let t0 = Instant::now();
     let out = run_all(&runs, threads);
     let wall = t0.elapsed().as_secs_f64();
-    let mean: f64 = out.iter().map(|(_, r)| r.mean_response_ms()).sum::<f64>() / out.len() as f64;
+    let mean: f64 = out
+        .iter()
+        .filter_map(|(_, r)| r.as_ref().ok().map(|r| r.mean_response_ms()))
+        .sum::<f64>()
+        / out.len() as f64;
     println!(
         "sweep-grid: {} runs ({} Base + {} RAID5), threads={} -> {:.3} s wall (mean resp {:.2} ms)",
         n,

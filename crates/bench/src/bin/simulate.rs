@@ -6,11 +6,15 @@
 //! simulate --org mirror --speed 2 --sync si
 //! simulate --org raid5 --failed 0:3           # degraded mode
 //! simulate --org base --trace-file ops.trace  # replay a captured trace
+//! simulate --org raid5 --fail-disk 3@5s --spare --rebuild-rate 10
 //! ```
 //!
 //! Prints the report summary plus the per-disk utilization/access table.
 
-use raidsim::{CacheConfig, Organization, ParityPlacement, SimConfig, Simulator, SyncPolicy};
+use raidsim::{
+    CacheConfig, DiskFailure, FaultConfig, Organization, ParityPlacement, SimConfig, Simulator,
+    SyncPolicy,
+};
 use tracegen::{fmt, transform, SynthSpec, Trace};
 
 struct Args(Vec<String>);
@@ -44,10 +48,40 @@ fn die(msg: &str) -> ! {
         "usage: simulate --org <base|mirror|raid5|raid4|parstrip> [--n N] [--su BLOCKS]\n\
          \t[--placement middle|end|rotated] [--band BLOCKS] [--sync si|rf|rfpr|df|dfpr]\n\
          \t[--cache MB] [--destage MS] [--failed ARRAY:DISK]\n\
+         \t[--fail-disk [ARRAY:]DISK@TIME(s|ms)] [--spare|--no-spare] [--rebuild-rate MBPS]\n\
+         \t[--transient-p F] [--max-retries N] [--battery-fail MS] [--battery-restore MS]\n\
          \t[--trace trace1|trace2] [--trace-file PATH] [--scale F] [--speed F] [--seed N]\n\
          \t[--phases] [--sample-ms MS] [--event-log PATH]"
     );
     std::process::exit(2)
+}
+
+/// Parse `[ARRAY:]DISK@TIME` where TIME is `<n>s`, `<n>ms`, or bare
+/// milliseconds — e.g. `3@5s` (array 0, disk 3, t = 5 s) or `1:2@500ms`.
+fn parse_fail_disk(spec: &str) -> DiskFailure {
+    let (loc, time) = spec
+        .split_once('@')
+        .unwrap_or_else(|| die("--fail-disk wants [ARRAY:]DISK@TIME, e.g. 3@5s"));
+    let (array, disk) = match loc.split_once(':') {
+        Some((a, d)) => (
+            a.parse().unwrap_or_else(|_| die("bad --fail-disk array")),
+            d.parse().unwrap_or_else(|_| die("bad --fail-disk disk")),
+        ),
+        None => (
+            0,
+            loc.parse().unwrap_or_else(|_| die("bad --fail-disk disk")),
+        ),
+    };
+    let at_ms: u64 = if let Some(s) = time.strip_suffix("ms") {
+        s.parse().unwrap_or_else(|_| die("bad --fail-disk time"))
+    } else if let Some(s) = time.strip_suffix('s') {
+        s.parse::<u64>()
+            .unwrap_or_else(|_| die("bad --fail-disk time"))
+            * 1000
+    } else {
+        time.parse().unwrap_or_else(|_| die("bad --fail-disk time"))
+    };
+    DiskFailure { array, disk, at_ms }
 }
 
 fn main() {
@@ -104,6 +138,31 @@ fn main() {
             a.parse().unwrap_or_else(|_| die("bad --failed array")),
             d.parse().unwrap_or_else(|_| die("bad --failed disk")),
         ));
+    }
+    // --- fault timeline ---------------------------------------------------
+    let wants_faults = args.get("--fail-disk").is_some()
+        || args.get("--transient-p").is_some()
+        || args.get("--battery-fail").is_some();
+    if wants_faults {
+        let mut fault = FaultConfig {
+            spare: !args.flag("--no-spare"),
+            rebuild_rate_mbps: args.parse("--rebuild-rate", 10),
+            transient_error_prob: args.parse("--transient-p", 0.0),
+            max_retries: args.parse("--max-retries", 4),
+            battery_fail_at_ms: args.get("--battery-fail").map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| die("bad --battery-fail (milliseconds)"))
+            }),
+            battery_restore_at_ms: args.get("--battery-restore").map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| die("bad --battery-restore (milliseconds)"))
+            }),
+            ..FaultConfig::default()
+        };
+        if let Some(spec) = args.get("--fail-disk") {
+            fault.disk_failure = Some(parse_fail_disk(spec));
+        }
+        cfg.fault = Some(fault);
     }
     if let Some(ms) = args.get("--sample-ms") {
         cfg.observability.sample_period_ms =
@@ -178,6 +237,27 @@ fn main() {
         report.per_disk_accesses.peak_to_mean(),
         report.max_disk_utilization() * 100.0,
     );
+    if let Some(f) = &report.faults {
+        println!(
+            "faults: degraded window {:.1} s | rebuild {:.1} s ({} blocks) | \
+             aborted {} | replayed {}",
+            f.degraded_window_ms / 1000.0,
+            f.rebuild_ms / 1000.0,
+            f.rebuild_blocks,
+            f.ops_aborted,
+            f.ops_replayed,
+        );
+        println!(
+            "        healthy {:.2} ms | degraded {:.2} ms | transient errors {} \
+             (retries {}, escalations {}) | write-through {}",
+            f.response_healthy_ms.mean(),
+            f.degraded_mean_ms(),
+            f.transient_errors,
+            f.retries,
+            f.escalations,
+            f.writes_written_through,
+        );
+    }
     if args.flag("--phases") {
         for (dir, ph) in [
             ("reads ", &report.phases_reads),

@@ -7,7 +7,8 @@
 use crate::Workloads;
 use diskmodel::{DiskGeometry, SeekCurve};
 use raidsim::{
-    CacheConfig, Organization, ParityPlacement, SimConfig, SimReport, Simulator, SyncPolicy,
+    CacheConfig, DiskFailure, FaultConfig, Organization, ParityPlacement, SimConfig, SimReport,
+    Simulator, SyncPolicy,
 };
 use raidtp_stats::Table;
 use tracegen::{transform, Trace, TraceStats};
@@ -577,6 +578,102 @@ pub fn degraded(w: &Workloads) {
     println!();
 }
 
+/// Extension experiment: the full failure *timeline* — a disk dies mid-run,
+/// in-flight operations abort and re-plan through the degraded machinery,
+/// an online rebuild sweeps the lost blocks onto a hot spare, and service
+/// returns to healthy. Quantifies Section 4.2.1's remark that arrays "have
+/// worse performance during reconstruction following a disk failure":
+/// Mirror rebuilds from one surviving partner, RAID5 pays a max-of-N
+/// reconstruction read per batch and the largest degraded penalty.
+pub fn rebuild(w: &Workloads) {
+    println!("== Extension: mid-run disk failure, online rebuild onto a hot spare (Trace 2) ==\n");
+    let fail = FaultConfig {
+        disk_failure: Some(DiskFailure {
+            array: 0,
+            disk: 0,
+            at_ms: 60_000,
+        }),
+        spare: true,
+        rebuild_rate_mbps: 10,
+        ..FaultConfig::default()
+    };
+    let orgs: [Organization; 3] = [
+        Organization::Mirror,
+        Organization::Raid5 { striping_unit: 1 },
+        Organization::ParityStriping {
+            placement: ParityPlacement::Middle,
+        },
+    ];
+    println!("-- disk 0 fails at t = 60 s; rebuild throttled to 10 MB/s --");
+    let mut t = Table::new(&[
+        "organization",
+        "healthy ms",
+        "degraded ms",
+        "rebuild s",
+        "aborted",
+        "replayed",
+    ]);
+    for org in orgs {
+        let mut c = cfg(org, 10, None);
+        c.fault = Some(fail);
+        let r = run(c, &w.trace2);
+        let Some(f) = r.faults.as_ref() else { continue };
+        t.row(&[
+            org.label().to_string(),
+            ms(f.response_healthy_ms.mean()),
+            ms(f.degraded_mean_ms()),
+            format!("{:.1}", f.rebuild_ms / 1000.0),
+            f.ops_aborted.to_string(),
+            f.ops_replayed.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!("\n-- transient media errors, RAID5: controller retry with backoff --");
+    let mut t = Table::new(&["error prob", "errors", "retries", "escalations", "mean ms"]);
+    for p in [1e-4, 1e-3, 1e-2] {
+        let mut c = cfg(Organization::Raid5 { striping_unit: 1 }, 10, None);
+        c.fault = Some(FaultConfig {
+            transient_error_prob: p,
+            ..FaultConfig::default()
+        });
+        let r = run(c, &w.trace2);
+        let Some(f) = r.faults.as_ref() else { continue };
+        t.row(&[
+            format!("{p:.0e}"),
+            f.transient_errors.to_string(),
+            f.retries.to_string(),
+            f.escalations.to_string(),
+            ms(r.mean_response_ms()),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!("\n-- NVRAM battery outage, cached RAID5 (16 MB): write-through failover --");
+    let mut t = Table::new(&["battery", "mean ms", "write-through", "outage s"]);
+    for (label, outage) in [
+        ("healthy", None),
+        ("out 60 s → 180 s", Some((60_000, 180_000))),
+    ] {
+        let mut c = cfg(Organization::Raid5 { striping_unit: 1 }, 10, Some(16));
+        c.fault = Some(FaultConfig {
+            battery_fail_at_ms: outage.map(|(a, _)| a),
+            battery_restore_at_ms: outage.map(|(_, b)| b),
+            ..FaultConfig::default()
+        });
+        let r = run(c, &w.trace2);
+        let Some(f) = r.faults.as_ref() else { continue };
+        t.row(&[
+            label.to_string(),
+            ms(r.mean_response_ms()),
+            f.writes_written_through.to_string(),
+            format!("{:.0}", f.battery_window_ms / 1000.0),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+}
+
 /// An experiment: its CLI id and the function that prints it.
 pub type Experiment = (&'static str, fn(&Workloads));
 
@@ -698,6 +795,7 @@ pub const ALL: &[Experiment] = &[
     ("fig18", fig18),
     ("fig19", fig19),
     ("degraded", degraded),
+    ("rebuild", rebuild),
     ("finegrain", finegrain),
     ("breakdown", breakdown),
 ];

@@ -8,9 +8,15 @@
 //! waits an extra rotation because the channel is busy, and a write's data
 //! is staged before the disk needs it; [`BufferPool`] accounts occupancy and
 //! lets the simulator queue admissions when every buffer is held.
+//!
+//! The controller also owns error recovery: [`RetryPolicy`] is the
+//! exponential-backoff schedule used to re-drive operations that hit
+//! transient media errors before escalating to a permanent disk failure.
 
 pub mod buffer;
 pub mod channel;
+pub mod retry;
 
 pub use buffer::BufferPool;
 pub use channel::{Channel, Transfer};
+pub use retry::RetryPolicy;

@@ -1,0 +1,75 @@
+//! Controller retry policy for transient media errors.
+//!
+//! When a disk operation fails with a recoverable (transient) error, the
+//! array controller re-drives it after a delay, doubling the delay on each
+//! consecutive failure of the same operation; when the retry budget is
+//! exhausted the error escalates to a permanent disk failure. The policy is
+//! pure arithmetic — the simulator owns the clock and the error draws — so
+//! the same attempt sequence always produces the same delays.
+
+/// Exponential-backoff retry schedule: attempt `k` (1-based) is re-driven
+/// after `base_delay_ns << (k-1)`, and attempts beyond `max_retries`
+/// escalate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Delay before the first retry, in nanoseconds.
+    pub base_delay_ns: u64,
+    /// Retries attempted before the error escalates to a permanent failure.
+    pub max_retries: u32,
+}
+
+impl RetryPolicy {
+    pub fn new(base_delay_ns: u64, max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            base_delay_ns,
+            max_retries,
+        }
+    }
+
+    /// Backoff before retry number `attempt` (1-based): the delay doubles
+    /// per consecutive failure, saturating instead of overflowing so an
+    /// absurd attempt count cannot wrap to a tiny delay.
+    #[inline]
+    pub fn backoff_ns(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(20);
+        self.base_delay_ns.saturating_mul(1u64 << shift)
+    }
+
+    /// Whether a failure on attempt number `attempt` (1-based count of
+    /// failed services so far) still has retry budget left.
+    #[inline]
+    pub fn retries_left(&self, attempt: u32) -> bool {
+        attempt <= self.max_retries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_per_attempt() {
+        let p = RetryPolicy::new(500_000, 4);
+        assert_eq!(p.backoff_ns(1), 500_000);
+        assert_eq!(p.backoff_ns(2), 1_000_000);
+        assert_eq!(p.backoff_ns(3), 2_000_000);
+        assert_eq!(p.backoff_ns(4), 4_000_000);
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_wrapping() {
+        let p = RetryPolicy::new(u64::MAX / 2, 4);
+        assert_eq!(p.backoff_ns(64), u64::MAX);
+        // The shift itself is capped, so huge attempt numbers are fine.
+        let q = RetryPolicy::new(1, 4);
+        assert_eq!(q.backoff_ns(1000), 1 << 20);
+    }
+
+    #[test]
+    fn budget_boundary() {
+        let p = RetryPolicy::new(1_000, 3);
+        assert!(p.retries_left(1));
+        assert!(p.retries_left(3));
+        assert!(!p.retries_left(4));
+    }
+}

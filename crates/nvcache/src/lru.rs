@@ -390,6 +390,29 @@ impl NvCache {
         (all_present, evictions)
     }
 
+    /// Apply a write while the cache is in write-through mode (NVRAM battery
+    /// failed): the data goes straight to disk, so blocks are cached *clean*
+    /// and nothing becomes destageable. Present blocks are touched in place;
+    /// a dirty block stays dirty (its pre-battery-failure contents still owe
+    /// a destage) but absorbs the new data without further bookkeeping.
+    pub fn write_through(&mut self, keys: &[BlockKey]) -> (bool, Vec<DirtyEviction>) {
+        let all_present = keys.iter().all(|&k| self.index.contains_key((k, false)));
+        if all_present {
+            self.stats.write_hits += 1;
+        } else {
+            self.stats.write_misses += 1;
+        }
+        let mut evictions = Vec::new();
+        for &k in keys {
+            if let Some(i) = self.index.get((k, false)) {
+                self.touch(i);
+            } else {
+                self.insert_node(k, false, false, false, &mut evictions);
+            }
+        }
+        (all_present, evictions)
+    }
+
     // ------------------------------------------------------------------
     // destage
     // ------------------------------------------------------------------
@@ -752,6 +775,26 @@ mod tests {
                 .count();
             assert_eq!(c.dirty_count(), recount, "step {step}");
         }
+    }
+
+    #[test]
+    fn write_through_caches_clean_blocks() {
+        let mut c = NvCache::new(8);
+        let (hit, ev) = c.write_through(&[k(1), k(2)]);
+        assert!(!hit && ev.is_empty());
+        assert!(c.contains(k(1)) && c.contains(k(2)));
+        assert!(!c.is_dirty(k(1)) && !c.is_dirty(k(2)));
+        assert_eq!(c.dirty_count(), 0);
+        assert!(c.collect_destage().is_empty(), "nothing destageable");
+        // A later read of the same blocks hits.
+        assert!(c.read_probe(&[k(1), k(2)]).is_empty());
+        // Hitting an already-dirty block leaves it dirty (pre-failure
+        // contents still owe a destage) without double-counting.
+        c.write_access(&[k(3)], false);
+        let (hit, _) = c.write_through(&[k(3)]);
+        assert!(hit);
+        assert!(c.is_dirty(k(3)));
+        assert_eq!(c.dirty_count(), 1);
     }
 
     #[test]

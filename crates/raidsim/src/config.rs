@@ -148,6 +148,66 @@ impl ObservabilityConfig {
     }
 }
 
+/// A scheduled permanent failure of one physical disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskFailure {
+    /// Array holding the failing disk.
+    pub array: u32,
+    /// Disk index within the array (data or parity).
+    pub disk: u32,
+    /// Failure time, milliseconds from simulation start.
+    pub at_ms: u64,
+}
+
+/// Fault-injection configuration: a mid-run failure timeline plus the
+/// recovery knobs (hot spare / rebuild, transient-error retry, NVRAM
+/// battery failover). All randomness derives from `fault_seed` through
+/// [`simkit::fault::FaultPlan`] streams, so fault-injected runs stay a pure
+/// function of (trace, config, fault seed).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Permanent disk failure injected mid-run (contrast `failed_disk`,
+    /// which models a disk that is already dead at time zero).
+    pub disk_failure: Option<DiskFailure>,
+    /// Whether a hot spare is available: when `true`, an online rebuild
+    /// sweeps the failed disk's blocks onto the spare and the array returns
+    /// to healthy mode; when `false`, the array stays degraded to the end.
+    pub spare: bool,
+    /// Rebuild-rate cap in MB/s of reconstructed data (0 = unthrottled: the
+    /// rebuild runs as fast as background-band scheduling allows).
+    pub rebuild_rate_mbps: u64,
+    /// Per-operation probability of a transient media error (0 disables).
+    pub transient_error_prob: f64,
+    /// Consecutive retries of one operation before the error escalates to a
+    /// permanent failure of the disk.
+    pub max_retries: u32,
+    /// Base retry backoff, microseconds; doubles per consecutive failure.
+    pub retry_backoff_us: u64,
+    /// NV-cache battery failure time, ms: from here the cache degrades to
+    /// write-through (writes complete only once on stable storage).
+    pub battery_fail_at_ms: Option<u64>,
+    /// Battery replacement time, ms: write-back caching resumes.
+    pub battery_restore_at_ms: Option<u64>,
+    /// Seed of the fault plan's random streams (transient-error draws).
+    pub fault_seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            disk_failure: None,
+            spare: true,
+            rebuild_rate_mbps: 10,
+            transient_error_prob: 0.0,
+            max_retries: 4,
+            retry_backoff_us: 500,
+            battery_fail_at_ms: None,
+            battery_restore_at_ms: None,
+            fault_seed: 0x4641_554C, // "FAUL"
+        }
+    }
+}
+
 /// Full simulation configuration. `Default` reproduces Table 4 (non-cached
 /// RAID5 needs the striping unit and sync method set explicitly; the
 /// defaults here are the paper's: N = 10, 1-block striping unit, Disk First,
@@ -172,6 +232,10 @@ pub struct SimConfig {
     /// (array index, disk index within the array). Redundant organizations
     /// reconstruct lost blocks from their peers; Base cannot run degraded.
     pub failed_disk: Option<(u32, u32)>,
+    /// Fault-injection timeline: mid-run disk failure + rebuild, transient
+    /// media errors with retry, NVRAM battery failover. `None` disables the
+    /// fault engine entirely.
+    pub fault: Option<FaultConfig>,
     /// Sampler / event-log configuration (all off by default; enabling it
     /// never changes simulated timing).
     pub observability: ObservabilityConfig,
@@ -190,6 +254,7 @@ impl Default for SimConfig {
             cache: None,
             seed: 0x5241_4944,
             failed_disk: None,
+            fault: None,
             observability: ObservabilityConfig::default(),
         }
     }
@@ -256,6 +321,41 @@ impl SimConfig {
         }
         if self.observability.sample_period_ms == Some(0) {
             return Err("sample period must be ≥ 1 ms".into());
+        }
+        if let Some(f) = &self.fault {
+            if let Some(df) = f.disk_failure {
+                if self.organization == Organization::Base {
+                    return Err("Base has no redundancy: cannot survive a disk failure".into());
+                }
+                if df.disk >= self.organization.disks_per_array(self.data_disks_per_array) {
+                    return Err("failing disk index out of range for the array".into());
+                }
+                if self.failed_disk.is_some() {
+                    return Err(
+                        "choose a static failed_disk or a mid-run disk_failure, not both \
+                         (a second failure exceeds single-fault tolerance)"
+                            .into(),
+                    );
+                }
+            }
+            if !(0.0..1.0).contains(&f.transient_error_prob) {
+                return Err("transient_error_prob must be in [0, 1)".into());
+            }
+            if f.transient_error_prob > 0.0 && f.max_retries == 0 {
+                return Err("transient errors need max_retries ≥ 1".into());
+            }
+            match (f.battery_fail_at_ms, f.battery_restore_at_ms) {
+                (None, Some(_)) => {
+                    return Err("battery_restore_at_ms without battery_fail_at_ms".into())
+                }
+                (Some(fail), Some(restore)) if restore <= fail => {
+                    return Err("battery restore must come after the failure".into())
+                }
+                _ => {}
+            }
+            if f.battery_fail_at_ms.is_some() && self.cache.is_none() {
+                return Err("battery failure needs a cache to degrade".into());
+            }
         }
         Ok(())
     }
@@ -346,6 +446,76 @@ mod tests {
         cfg.organization = Organization::Base;
         cfg.failed_disk = Some((0, 3));
         assert!(cfg.validate().is_err(), "Base cannot degrade");
+    }
+
+    #[test]
+    fn fault_validation() {
+        fn with_fault(edit: impl FnOnce(&mut FaultConfig)) -> SimConfig {
+            let mut fault = FaultConfig {
+                disk_failure: Some(DiskFailure {
+                    array: 0,
+                    disk: 3,
+                    at_ms: 5_000,
+                }),
+                ..FaultConfig::default()
+            };
+            edit(&mut fault);
+            SimConfig {
+                fault: Some(fault),
+                ..SimConfig::default()
+            }
+        }
+
+        assert!(with_fault(|_| {}).validate().is_ok());
+
+        // Base cannot lose a disk.
+        let mut cfg = with_fault(|_| {});
+        cfg.organization = Organization::Base;
+        assert!(cfg.validate().is_err());
+
+        // Disk index bounded by the array width (N + 1 = 11 disks).
+        let cfg = with_fault(|f| {
+            f.disk_failure = Some(DiskFailure {
+                array: 0,
+                disk: 11,
+                at_ms: 0,
+            })
+        });
+        assert!(cfg.validate().is_err());
+
+        // Static + mid-run failure would be a double fault.
+        let mut cfg = with_fault(|_| {});
+        cfg.failed_disk = Some((0, 0));
+        assert!(cfg.validate().is_err());
+
+        // Transient-error probability range and retry budget.
+        assert!(with_fault(|f| f.transient_error_prob = 1.0)
+            .validate()
+            .is_err());
+        assert!(with_fault(|f| {
+            f.transient_error_prob = 0.01;
+            f.max_retries = 0;
+        })
+        .validate()
+        .is_err());
+        assert!(with_fault(|f| f.transient_error_prob = 0.01)
+            .validate()
+            .is_ok());
+
+        // Battery events need a cache, and restore must follow failure.
+        let mut cfg = with_fault(|f| f.battery_fail_at_ms = Some(100));
+        assert!(cfg.validate().is_err(), "battery failure without a cache");
+        cfg.cache = Some(CacheConfig::default());
+        assert!(cfg.validate().is_ok());
+        let mut cfg = with_fault(|f| {
+            f.battery_fail_at_ms = Some(100);
+            f.battery_restore_at_ms = Some(50);
+        });
+        cfg.cache = Some(CacheConfig::default());
+        assert!(cfg.validate().is_err(), "restore before failure");
+        let mut cfg = with_fault(|f| f.battery_restore_at_ms = Some(50));
+        cfg.cache = Some(CacheConfig::default());
+        assert!(cfg.validate().is_err(), "restore without failure");
     }
 
     #[test]

@@ -34,8 +34,9 @@ pub mod sim;
 pub mod sweep;
 
 pub use config::{
-    CacheConfig, ObservabilityConfig, Organization, ParityPlacement, SimConfig, SyncPolicy,
+    CacheConfig, DiskFailure, FaultConfig, ObservabilityConfig, Organization, ParityPlacement,
+    SimConfig, SyncPolicy,
 };
-pub use report::{PhaseSample, PhaseWelfords, SimReport};
+pub use report::{FaultReport, PhaseSample, PhaseWelfords, SimReport};
 pub use sim::{RunStats, Simulator};
 pub use sweep::{run_all, NamedRun};

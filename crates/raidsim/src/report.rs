@@ -106,6 +106,51 @@ impl PhaseWelfords {
     }
 }
 
+/// Fault-injection outcome accounting, present when `SimConfig::fault` was
+/// set. Durations are measured inside the simulated run: a window still
+/// open when the simulation ends is truncated at the final event time.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Failure → array healthy again (rebuild complete), ms; spans to the
+    /// end of the run when no spare was configured. 0 when no disk failed.
+    pub degraded_window_ms: f64,
+    /// Rebuild start → last block reconstructed onto the spare, ms.
+    pub rebuild_ms: f64,
+    /// Blocks reconstructed onto the spare.
+    pub rebuild_blocks: u64,
+    /// Transient media errors injected.
+    pub transient_errors: u64,
+    /// Operation retries driven by the controller (≤ transient_errors).
+    pub retries: u64,
+    /// Retry-exhausted errors escalated to a permanent disk failure.
+    pub escalations: u64,
+    /// In-flight or queued operations aborted when their disk died.
+    pub ops_aborted: u64,
+    /// Replacement operations created to re-plan aborted reads through the
+    /// degraded (reconstruct-from-peers) machinery.
+    pub ops_replayed: u64,
+    /// NVRAM battery outage span, ms.
+    pub battery_window_ms: f64,
+    /// Host writes that had to complete write-through during the outage.
+    pub writes_written_through: u64,
+    /// Response times split by the array's state when the request was
+    /// processed: healthy, degraded (failed disk, no rebuild running), or
+    /// rebuilding.
+    pub response_healthy_ms: Welford,
+    pub response_degraded_ms: Welford,
+    pub response_rebuilding_ms: Welford,
+}
+
+impl FaultReport {
+    /// Mean response time over the whole degraded window (degraded +
+    /// rebuilding states), ms — the figure the rebuild experiment tables.
+    pub fn degraded_mean_ms(&self) -> f64 {
+        let mut w = self.response_degraded_ms;
+        w.merge(&self.response_rebuilding_ms);
+        w.mean()
+    }
+}
+
 /// Everything a run measured. Response times are *host-observed*: from
 /// request arrival to the last byte landing (reads) or to the data — and,
 /// in non-cached parity organizations, the parity — being on stable storage
@@ -150,6 +195,9 @@ pub struct SimReport {
     pub buffer_waits: u64,
     /// Simulated time span, seconds.
     pub elapsed_secs: f64,
+
+    /// Fault-injection accounting, present when `SimConfig::fault` was set.
+    pub faults: Option<FaultReport>,
 
     /// Sampled state over time, present when
     /// `SimConfig::observability.sample_period_ms` was set.
@@ -250,6 +298,7 @@ mod tests {
             disk_ops: 3,
             buffer_waits: 0,
             elapsed_secs: 1.0,
+            faults: None,
             timeseries: None,
         }
     }
@@ -271,6 +320,19 @@ mod tests {
         let s = report().summary();
         assert!(s.contains("Base"));
         assert!(s.contains("3 reqs"));
+    }
+
+    #[test]
+    fn fault_report_degraded_mean_merges_both_windows() {
+        let mut f = FaultReport::default();
+        assert_eq!(f.degraded_mean_ms(), 0.0, "empty windows mean 0");
+        f.response_degraded_ms.push(10.0);
+        f.response_rebuilding_ms.push(30.0);
+        f.response_rebuilding_ms.push(50.0);
+        assert!((f.degraded_mean_ms() - 30.0).abs() < 1e-12);
+        // Merging must not mutate the stored accumulators.
+        assert_eq!(f.response_degraded_ms.count(), 1);
+        assert_eq!(f.response_rebuilding_ms.count(), 2);
     }
 
     #[test]

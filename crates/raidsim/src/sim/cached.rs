@@ -71,6 +71,7 @@ impl<'t> Simulator<'t> {
                         feeds: false,
                         read_end: SimTime::ZERO,
                         transfer_ns: 0,
+                        attempts: 0,
                         marks: OpMarks::default(),
                     });
                     self.reqs.get_mut(req).pending += 1;
@@ -84,8 +85,35 @@ impl<'t> Simulator<'t> {
         }
     }
 
-    pub(super) fn cached_write(&mut self, req: u32, rec: &TraceRecord, array: u32, _laddr: u64) {
+    pub(super) fn cached_write(&mut self, req: u32, rec: &TraceRecord, array: u32, laddr: u64) {
         let keys = Self::keys_of(rec);
+        if self.battery_out() {
+            // NVRAM battery failed: the cache cannot hold dirty data, so the
+            // write goes straight to disk (blocks cached clean) and the
+            // request waits for the media like a non-cached write.
+            let (_hit, evictions) = self.caches[array as usize].write_through(&keys);
+            let now = self.engine.now();
+            let tr =
+                self.channels[array as usize].request(now, rec.nblocks as u64 * self.block_bytes);
+            self.reqs.get_mut(req).stage_end = tr.end;
+            let immediate = self.build_write_ops(WriteOps {
+                req: Some(req),
+                array,
+                laddr,
+                n: rec.nblocks,
+                band: Band::Normal,
+                data_role: OpRole::HostWrite,
+                old_known: false,
+                spool: false,
+            });
+            self.note_channel_finish(req, tr.end);
+            self.engine.schedule_at(tr.end, Ev::Issue(immediate.into()));
+            for ev in evictions {
+                self.issue_writeback(Some(req), array, ev);
+            }
+            self.note_write_through();
+            return;
+        }
         let keep_old = self.cfg.organization.has_parity();
         let (_hit, evictions) = self.caches[array as usize].write_access(&keys, keep_old);
         let now = self.engine.now();
@@ -163,6 +191,7 @@ impl<'t> Simulator<'t> {
                     feeds: false,
                     read_end: SimTime::ZERO,
                     transfer_ns: 0,
+                    attempts: 0,
                     marks: OpMarks::default(),
                 });
                 self.enqueue_op(t);
@@ -195,7 +224,7 @@ impl<'t> Simulator<'t> {
         }
     }
 
-    fn issue_destage_group(&mut self, array: u32, group: DestageGroup) {
+    pub(super) fn issue_destage_group(&mut self, array: u32, group: DestageGroup) {
         let a = array as usize;
         let laddr = self.laddr_of_key(BlockKey::new(group.disk, group.block));
         let plan = self.plan_write(array, laddr, group.nblocks);
@@ -290,6 +319,7 @@ impl<'t> Simulator<'t> {
                         feeds: true,
                         read_end: SimTime::ZERO,
                         transfer_ns: 0,
+                        attempts: 0,
                         marks: OpMarks::default(),
                     });
                     feeders.push(t);
@@ -326,6 +356,7 @@ impl<'t> Simulator<'t> {
                     feeds: is_feeder && job.is_some(),
                     read_end: SimTime::ZERO,
                     transfer_ns: 0,
+                    attempts: 0,
                     marks: OpMarks::default(),
                 });
                 feeders.push(t);
@@ -356,6 +387,7 @@ impl<'t> Simulator<'t> {
                     feeds: false,
                     read_end: SimTime::ZERO,
                     transfer_ns: 0,
+                    attempts: 0,
                     marks: OpMarks::default(),
                 });
                 match job {
@@ -404,6 +436,7 @@ impl<'t> Simulator<'t> {
             feeds: false,
             read_end: SimTime::ZERO,
             transfer_ns: 0,
+            attempts: 0,
             marks: OpMarks::default(),
         });
         self.enqueue_op(t);

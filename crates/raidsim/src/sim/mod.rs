@@ -21,14 +21,14 @@
 mod cached;
 mod slab;
 
-use crate::config::{Organization, SimConfig, SyncPolicy};
+use crate::config::{FaultConfig, Organization, SimConfig, SyncPolicy};
 use crate::mapping::{OrgMap, Run, StripeMode};
-use crate::report::{PhaseSample, PhaseWelfords, SimReport};
+use crate::report::{FaultReport, PhaseSample, PhaseWelfords, SimReport};
 use diskmodel::{rmw_write_complete, AccessKind, Band, Disk, OpQueue};
-use iochannel::{BufferPool, Channel};
+use iochannel::{BufferPool, Channel, RetryPolicy};
 use nvcache::{NvCache, ParitySpool};
 use raidtp_stats::{DiskCounters, Histogram, TimeSeries, Welford};
-use simkit::{Engine, SimTime};
+use simkit::{Engine, EventId, FaultEvent, FaultPlan, FaultRng, SimTime};
 use slab::Slab;
 use std::collections::VecDeque;
 use std::io::Write as _;
@@ -66,6 +66,10 @@ pub(super) enum OpRole {
     /// finishes the request's share (reconstructed data leaves via the
     /// request's tail channel transfer).
     ReconstructRead,
+    /// Online-rebuild peer read: feeds the rebuild batch's job only.
+    RebuildRead,
+    /// Online-rebuild write of reconstructed blocks onto the hot spare.
+    RebuildWrite,
 }
 
 /// When a parity job's parity operations get enqueued (Section 3.3).
@@ -123,6 +127,8 @@ struct DiskOp {
     /// Filled in at service start.
     read_end: SimTime,
     transfer_ns: u64,
+    /// Completed services that drew a transient media error (retry count).
+    attempts: u32,
     marks: OpMarks,
 }
 
@@ -167,6 +173,10 @@ struct Request {
     /// Phase breakdown of the part that currently defines `finish` (the
     /// critical path so far); components sum exactly to `finish − arrive`.
     phase: PhaseSample,
+    /// Array state when the request arrived: 0 healthy, 1 degraded (no
+    /// rebuild running), 2 rebuilding. Buckets the per-window response
+    /// statistics of [`FaultReport`].
+    window: u8,
 }
 
 /// Parameters of one write decomposition (host write or cache writeback).
@@ -190,6 +200,90 @@ struct DestageJob {
     remaining: u32,
 }
 
+/// An injected fault hitting the simulated hardware, resolved to engine
+/// coordinates (global disk index).
+#[derive(Clone, Copy, Debug)]
+enum FaultKind {
+    DiskFail { gdisk: u32 },
+    BatteryFail,
+    BatteryRestore,
+}
+
+/// Number of spare blocks reconstructed per rebuild batch. One batch is one
+/// background write to the spare fed by peer reads; small enough that
+/// foreground traffic interleaves between batches, large enough that the
+/// sweep is not all seeks.
+const REBUILD_BATCH_BLOCKS: u64 = 64;
+
+/// Runtime state of the fault-injection engine, present iff
+/// [`SimConfig::fault`] is set. Owns the injected-event plan, the per-disk
+/// transient-error streams, the failure/rebuild timeline, and every counter
+/// reported in [`FaultReport`].
+struct FaultState {
+    fcfg: FaultConfig,
+    plan: FaultPlan,
+    /// One independent error stream per physical disk, split off the fault
+    /// seed, so one disk's draw sequence never depends on another's op
+    /// count.
+    rngs: Vec<FaultRng>,
+    // Disk-failure / rebuild timeline.
+    failed_at: Option<SimTime>,
+    healthy_at: Option<SimTime>,
+    rebuild_started: Option<SimTime>,
+    rebuild_done: Option<SimTime>,
+    rebuild_active: bool,
+    /// Next spare block to reconstruct.
+    rebuild_cursor: u64,
+    /// When the in-flight rebuild batch was dispatched (rate throttling).
+    step_started: SimTime,
+    rebuild_blocks: u64,
+    // NVRAM battery.
+    battery_out: bool,
+    battery_fail_at: SimTime,
+    battery_window_ns: u64,
+    writes_written_through: u64,
+    // Error/recovery counters.
+    transient_errors: u64,
+    retries: u64,
+    escalations: u64,
+    ops_aborted: u64,
+    ops_replayed: u64,
+    // Response split by the array state the request arrived under.
+    resp_healthy: Welford,
+    resp_degraded: Welford,
+    resp_rebuilding: Welford,
+}
+
+impl FaultState {
+    fn new(fcfg: FaultConfig, plan: FaultPlan, rngs: Vec<FaultRng>) -> FaultState {
+        FaultState {
+            fcfg,
+            plan,
+            rngs,
+            failed_at: None,
+            healthy_at: None,
+            rebuild_started: None,
+            rebuild_done: None,
+            rebuild_active: false,
+            rebuild_cursor: 0,
+            step_started: SimTime::ZERO,
+            rebuild_blocks: 0,
+            battery_out: false,
+            battery_fail_at: SimTime::ZERO,
+            battery_window_ns: 0,
+            writes_written_through: 0,
+            transient_errors: 0,
+            retries: 0,
+            escalations: 0,
+            ops_aborted: 0,
+            ops_replayed: 0,
+            resp_healthy: Welford::new(),
+            resp_degraded: Welford::new(),
+            resp_rebuilding: Welford::new(),
+        }
+    }
+}
+
 #[derive(Debug)]
 enum Ev {
     /// Process the next trace record.
@@ -205,6 +299,10 @@ enum Ev {
     DestageTick {
         array: u32,
     },
+    /// An injected fault fires (disk failure, battery failure/restore).
+    Fault(FaultKind),
+    /// Reconstruct the next batch of the failed disk onto the hot spare.
+    RebuildStep,
     /// Periodic state sampler (read-only: never perturbs timing).
     Sample,
 }
@@ -232,6 +330,8 @@ pub struct Simulator<'t> {
     disks: Vec<Disk>,
     queues: Vec<OpQueue<u32>>,
     in_service: Vec<Option<u32>>,
+    /// Completion event of the op in service, cancellable on disk failure.
+    service_ev: Vec<Option<EventId>>,
     // Per array.
     channels: Vec<Channel>,
     buffers: Vec<BufferPool>,
@@ -244,10 +344,12 @@ pub struct Simulator<'t> {
     reqs: Slab<Request>,
     dgroups: Slab<DestageJob>,
 
-    // Cached constants.
+    // Cached constants (failed_gdisk is a runtime *state*: set by a static
+    // config or a mid-run failure event, cleared when a rebuild completes).
     arrays: u32,
     dpa: u32,
     failed_gdisk: Option<u32>,
+    fault: Option<FaultState>,
     n: u32,
     bpd: u64,
     rot_ns: u64,
@@ -289,6 +391,16 @@ pub struct Simulator<'t> {
     event_log: Option<std::io::BufWriter<std::fs::File>>,
 }
 
+/// Deterministic pseudo-random spindle phase of disk `i` (splitmix64 over
+/// the config seed). Hot spares draw fresh phases past the installed-disk
+/// index range.
+fn spindle_phase(seed: u64, i: u64, rot_ns: u64) -> u64 {
+    let mut z = seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) % rot_ns
+}
+
 impl<'t> Simulator<'t> {
     /// Build a simulator for `cfg` over `trace`.
     ///
@@ -320,14 +432,14 @@ impl<'t> Simulator<'t> {
         // Un-synchronized spindles: deterministic pseudo-random phases from
         // the seed (splitmix64 over the disk index).
         let rot_ns = cfg.geometry.rotation_ns();
-        let phase = |i: u64| -> u64 {
-            let mut z = cfg.seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            (z ^ (z >> 31)) % rot_ns
-        };
         let disks = (0..total_disks)
-            .map(|i| Disk::new(cfg.geometry.clone(), cfg.seek, phase(i as u64)))
+            .map(|i| {
+                Disk::new(
+                    cfg.geometry.clone(),
+                    cfg.seek,
+                    spindle_phase(cfg.seed, i as u64, rot_ns),
+                )
+            })
             .collect();
 
         let cache_blocks = cfg
@@ -351,6 +463,37 @@ impl<'t> Simulator<'t> {
             }
         }
         let failed_gdisk = cfg.failed_disk.map(|(a, d)| a * dpa + d);
+
+        // Fault-injection plan: injected events resolved against the trace's
+        // array count, per-disk error streams split off the fault seed.
+        let fault = match cfg.fault {
+            None => None,
+            Some(fc) => {
+                let mut plan = FaultPlan::new(fc.fault_seed);
+                if let Some(df) = fc.disk_failure {
+                    if df.array >= arrays {
+                        return Err("injected disk failure's array out of range".into());
+                    }
+                    plan.schedule(FaultEvent::DiskFail {
+                        array: df.array,
+                        disk: df.disk,
+                        at: SimTime::from_ms(df.at_ms),
+                    });
+                }
+                if let Some(ms) = fc.battery_fail_at_ms {
+                    plan.schedule(FaultEvent::BatteryFail {
+                        at: SimTime::from_ms(ms),
+                    });
+                }
+                if let Some(ms) = fc.battery_restore_at_ms {
+                    plan.schedule(FaultEvent::BatteryRestore {
+                        at: SimTime::from_ms(ms),
+                    });
+                }
+                let rngs = (0..total_disks).map(|g| plan.stream(g as u64)).collect();
+                Some(FaultState::new(fc, plan, rngs))
+            }
+        };
 
         let sample_period_ns = cfg
             .observability
@@ -386,6 +529,7 @@ impl<'t> Simulator<'t> {
             disks,
             queues: (0..total_disks).map(|_| OpQueue::new()).collect(),
             in_service: vec![None; total_disks],
+            service_ev: vec![None; total_disks],
             channels: (0..arrays)
                 .map(|_| Channel::new(cfg.channel_bytes_per_sec))
                 .collect(),
@@ -402,6 +546,7 @@ impl<'t> Simulator<'t> {
             arrays,
             dpa,
             failed_gdisk,
+            fault,
             n,
             bpd,
             rot_ns,
@@ -468,6 +613,27 @@ impl<'t> Simulator<'t> {
             self.engine
                 .schedule_after(self.sample_period_ns, Ev::Sample);
         }
+        let fault_evs: Vec<(SimTime, FaultKind)> = match self.fault.as_ref() {
+            Some(fs) => fs
+                .plan
+                .events()
+                .iter()
+                .map(|e| match *e {
+                    FaultEvent::DiskFail { array, disk, at } => (
+                        at,
+                        FaultKind::DiskFail {
+                            gdisk: array * self.dpa + disk,
+                        },
+                    ),
+                    FaultEvent::BatteryFail { at } => (at, FaultKind::BatteryFail),
+                    FaultEvent::BatteryRestore { at } => (at, FaultKind::BatteryRestore),
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        for (at, kind) in fault_evs {
+            self.engine.schedule_at(at, Ev::Fault(kind));
+        }
         while let Some(ev) = self.engine.next_event() {
             self.dispatch(ev);
         }
@@ -501,6 +667,12 @@ impl<'t> Simulator<'t> {
                 }
             }
             Ev::DestageTick { array } => self.on_destage_tick(array),
+            Ev::Fault(kind) => match kind {
+                FaultKind::DiskFail { gdisk } => self.on_disk_fail(gdisk),
+                FaultKind::BatteryFail => self.on_battery_fail(),
+                FaultKind::BatteryRestore => self.on_battery_restore(),
+            },
+            Ev::RebuildStep => self.on_rebuild_step(),
             Ev::Sample => self.on_sample(),
         }
     }
@@ -540,6 +712,11 @@ impl<'t> Simulator<'t> {
         let now = self.engine.now();
         let serial = self.req_serial;
         self.req_serial += 1;
+        let window = match self.failed_in(array) {
+            None => 0,
+            Some(_) if self.fault.as_ref().is_some_and(|f| f.rebuild_active) => 2,
+            Some(_) => 1,
+        };
         let req = self.reqs.insert(Request {
             arrive: rec.at,
             is_read: rec.kind == AccessType::Read,
@@ -552,6 +729,7 @@ impl<'t> Simulator<'t> {
             admit: now,
             stage_end: now,
             phase: PhaseSample::default(),
+            window,
         });
         self.inflight += 1;
         if self.event_log.is_some() {
@@ -624,6 +802,7 @@ impl<'t> Simulator<'t> {
             feeds: false,
             read_end: SimTime::ZERO,
             transfer_ns: 0,
+            attempts: 0,
             marks: OpMarks::default(),
         });
         self.reqs.get_mut(req).pending += 1;
@@ -863,6 +1042,7 @@ impl<'t> Simulator<'t> {
             feeds: kind == AccessKind::RmwData && job.is_some(),
             read_end: SimTime::ZERO,
             transfer_ns: 0,
+            attempts: 0,
             marks: OpMarks::default(),
         })
     }
@@ -884,6 +1064,7 @@ impl<'t> Simulator<'t> {
             feeds: true,
             read_end: SimTime::ZERO,
             transfer_ns: 0,
+            attempts: 0,
             marks: OpMarks::default(),
         })
     }
@@ -949,9 +1130,9 @@ impl<'t> Simulator<'t> {
 
     fn enqueue_op(&mut self, token: u32) {
         let now = self.engine.now();
-        let (gdisk, band) = {
+        let (gdisk, band, role) = {
             let op = self.ops.get(token);
-            (op.gdisk, op.band)
+            (op.gdisk, op.band, op.role)
         };
         let g = gdisk as usize;
         // Background-busy snapshot, credited with the *remaining* time of a
@@ -962,6 +1143,15 @@ impl<'t> Simulator<'t> {
             let op = self.ops.get_mut(token);
             op.marks.enqueue = now;
             op.marks.bg_snap = snap;
+        }
+        // A disk that failed after this op was planned cannot serve it:
+        // abort and (for reads of lost data) re-plan through the degraded
+        // path. This catches stragglers staged before the failure — boxed
+        // Issue events, gated parity ops, delayed retries. Rebuild writes
+        // are exempt: they target the hot spare occupying the failed slot.
+        if self.failed_gdisk == Some(gdisk) && role != OpRole::RebuildWrite {
+            self.abort_op(token, false);
+            return;
         }
         self.queues[g].push(band, token);
         self.try_start(gdisk);
@@ -1044,8 +1234,10 @@ impl<'t> Simulator<'t> {
             self.bg_until[gdisk as usize] = complete;
         }
         self.in_service[gdisk as usize] = Some(token);
-        self.engine
+        let ev = self
+            .engine
             .schedule_at(complete, Ev::DiskDone { gdisk, op: token });
+        self.service_ev[gdisk as usize] = Some(ev);
     }
 
     /// A feeder (data RMW / reconstruct read) started service: update the
@@ -1112,14 +1304,70 @@ impl<'t> Simulator<'t> {
                     self.bg_busy_cum[gdisk as usize] += until - now;
                     self.bg_until[gdisk as usize] = until;
                 }
-                self.engine
+                let ev = self
+                    .engine
                     .schedule_at(until, Ev::DiskDone { gdisk, op: token });
+                self.service_ev[gdisk as usize] = Some(ev);
                 return;
+            }
+        }
+
+        // Transient media errors: the completed service may turn out to have
+        // failed. The controller re-drives the op after an exponential
+        // backoff; when the retry budget runs out the error escalates to a
+        // permanent disk failure (survivable only with redundancy). Feeder
+        // ops are exempt — they reported their read-completion to the parity
+        // job at dispatch and cannot be un-fed.
+        let transient_p = self
+            .fault
+            .as_ref()
+            .map_or(0.0, |f| f.fcfg.transient_error_prob);
+        if transient_p > 0.0 && !self.ops.get(token).feeds {
+            let erred = self
+                .fault
+                .as_mut()
+                .is_some_and(|f| f.rngs[gdisk as usize].chance(transient_p));
+            if erred {
+                let attempts = {
+                    let op = self.ops.get_mut(token);
+                    op.attempts += 1;
+                    op.attempts
+                };
+                let policy = self.fault.as_ref().map_or(RetryPolicy::new(0, 0), |f| {
+                    RetryPolicy::new(f.fcfg.retry_backoff_us * 1_000, f.fcfg.max_retries)
+                });
+                if let Some(f) = self.fault.as_mut() {
+                    f.transient_errors += 1;
+                }
+                if policy.retries_left(attempts) {
+                    if let Some(f) = self.fault.as_mut() {
+                        f.retries += 1;
+                    }
+                    self.in_service[gdisk as usize] = None;
+                    self.service_ev[gdisk as usize] = None;
+                    self.try_start(gdisk);
+                    self.engine
+                        .schedule_after(policy.backoff_ns(attempts), Ev::Issue([token].into()));
+                    return;
+                }
+                if !matches!(self.cfg.organization, Organization::Base)
+                    && self.failed_gdisk.is_none()
+                {
+                    if let Some(f) = self.fault.as_mut() {
+                        f.escalations += 1;
+                    }
+                    self.service_ev[gdisk as usize] = None;
+                    self.on_disk_fail(gdisk);
+                    return;
+                }
+                // No redundancy left to escalate into: deliver the data
+                // anyway so the run can complete (heroic recovery).
             }
         }
 
         let op = self.ops.remove(token);
         self.in_service[gdisk as usize] = None;
+        self.service_ev[gdisk as usize] = None;
         if self.event_log.is_some() {
             let line = format!(
                 "{{\"t\":{},\"ev\":\"complete\",\"disk\":{},\"role\":\"{:?}\",\"block\":{},\"nblocks\":{}}}",
@@ -1192,6 +1440,16 @@ impl<'t> Simulator<'t> {
                 let array = (gdisk / self.dpa) as usize;
                 self.caches[array].release_slots(op.nblocks as usize);
             }
+            OpRole::RebuildRead => {
+                // Fed its rebuild job at dispatch; nothing further.
+            }
+            OpRole::RebuildWrite => {
+                if let Some(j) = op.job {
+                    self.jobs.get_mut(j).refs -= 1;
+                    self.maybe_free_job(j);
+                }
+                self.on_rebuild_batch_done(&op);
+            }
         }
 
         self.try_start(gdisk);
@@ -1263,6 +1521,13 @@ impl<'t> Simulator<'t> {
         self.resp_all.push(ms);
         self.hist.record(ms);
         self.completed += 1;
+        if let Some(f) = self.fault.as_mut() {
+            match r.window {
+                0 => f.resp_healthy.push(ms),
+                1 => f.resp_degraded.push(ms),
+                _ => f.resp_rebuilding.push(ms),
+            }
+        }
         if r.is_read {
             self.resp_reads.push(ms);
             self.completed_reads += 1;
@@ -1311,6 +1576,386 @@ impl<'t> Simulator<'t> {
     }
 
     // ------------------------------------------------------------------
+    // fault injection and recovery
+    // ------------------------------------------------------------------
+
+    /// A disk permanently fails (injected or escalated from exhausted
+    /// retries): every op queued on or in service at it is aborted and
+    /// re-planned through the degraded machinery; the array switches to
+    /// degraded planning; with a hot spare configured, the online rebuild
+    /// starts immediately.
+    fn on_disk_fail(&mut self, gdisk: u32) {
+        if self.failed_gdisk.is_some() {
+            return; // already degraded; config validation forbids a second
+        }
+        let now = self.engine.now();
+        self.failed_gdisk = Some(gdisk);
+        if let Some(f) = self.fault.as_mut() {
+            f.failed_at = Some(now);
+        }
+        if self.event_log.is_some() {
+            let line = format!(
+                "{{\"t\":{},\"ev\":\"disk_fail\",\"disk\":{}}}",
+                now.as_ns(),
+                gdisk
+            );
+            self.write_log(&line);
+        }
+        let g = gdisk as usize;
+        if let Some(ev) = self.service_ev[g].take() {
+            self.engine.cancel(ev);
+        }
+        let mut lost: Vec<(u32, bool)> = Vec::new();
+        if let Some(t) = self.in_service[g].take() {
+            lost.push((t, true));
+        }
+        while let Some((_, t)) = self.queues[g].pop() {
+            lost.push((t, false));
+        }
+        for (t, started) in lost {
+            self.abort_op(t, started);
+        }
+        // A failed RAID4 parity disk orphans the spool: nothing can drain
+        // it anymore, so give the reserved cache slots back.
+        if self.parity_cached && gdisk % self.dpa == self.n {
+            let a = (gdisk / self.dpa) as usize;
+            while let Some(run) = self.spools[a].pop_run(u32::MAX) {
+                self.caches[a].release_slots(run.nblocks as usize);
+            }
+        }
+        if self.fault.as_ref().is_some_and(|f| f.fcfg.spare) {
+            // The hot spare takes the failed slot with a fresh spindle.
+            let phase = spindle_phase(self.cfg.seed, (self.disks.len() + g) as u64, self.rot_ns);
+            self.disks[g] = Disk::new(self.cfg.geometry.clone(), self.cfg.seek, phase);
+            if let Some(f) = self.fault.as_mut() {
+                f.rebuild_started = Some(now);
+                f.rebuild_active = true;
+                f.rebuild_cursor = 0;
+            }
+            self.engine.schedule_now(Ev::RebuildStep);
+        }
+    }
+
+    /// Remove an op addressed to a failed disk, settle its bookkeeping, and
+    /// re-plan host-facing reads of lost data through the degraded path.
+    /// `started` marks an op that was in service: its feeder contribution,
+    /// if any, already happened at dispatch.
+    fn abort_op(&mut self, token: u32, started: bool) {
+        let now = self.engine.now();
+        let op = self.ops.remove(token);
+        if let Some(f) = self.fault.as_mut() {
+            f.ops_aborted += 1;
+        }
+        // A queued feeder never started: its parity job must not wait for a
+        // read that will never happen.
+        if op.feeds && !started {
+            if let Some(j) = op.job {
+                self.feed_job(j, now);
+            }
+        }
+        match op.role {
+            OpRole::HostRead | OpRole::CacheFetch | OpRole::ReconstructRead => {
+                self.replan_lost_read(&op, now);
+            }
+            OpRole::HostWrite | OpRole::RmwData => {
+                let phase = self.abort_phase(&op, now);
+                self.request_part_done(op.req_id(), now, phase);
+            }
+            OpRole::ParityRmw | OpRole::ParityWrite => {
+                if let Some(req) = op.req {
+                    let phase = self.abort_phase(&op, now);
+                    self.request_part_done(req, now, phase);
+                }
+                if let Some(j) = op.job {
+                    self.jobs.get_mut(j).refs -= 1;
+                    self.maybe_free_job(j);
+                }
+            }
+            OpRole::ExtraRead | OpRole::Writeback => {
+                if let Some(req) = op.req {
+                    let phase = self.abort_phase(&op, now);
+                    self.request_part_done(req, now, phase);
+                }
+            }
+            OpRole::DestageData => {
+                // simlint::allow(panic-policy): same invariant as completion — a destage op always carries its group
+                let dg = op.dgroup.expect("destage op lost its group");
+                self.dgroups.get_mut(dg).remaining -= 1;
+                if self.dgroups.get(dg).remaining == 0 {
+                    let dj = self.dgroups.remove(dg);
+                    let array = (op.gdisk / self.dpa) as usize;
+                    self.caches[array].destage_complete(&dj.group);
+                }
+            }
+            OpRole::DestageParity | OpRole::RebuildWrite => {
+                if let Some(j) = op.job {
+                    self.jobs.get_mut(j).refs -= 1;
+                    self.maybe_free_job(j);
+                }
+            }
+            OpRole::SpoolDrain => {
+                let array = (op.gdisk / self.dpa) as usize;
+                self.caches[array].release_slots(op.nblocks as usize);
+            }
+            OpRole::RebuildRead => {}
+        }
+    }
+
+    /// A host-facing read lost its target disk mid-flight. Mirror reads
+    /// redirect to the surviving copy; parity organizations read every
+    /// surviving peer of each lost block and XOR-reconstruct, routing the
+    /// rebuilt data through the request's tail channel transfer. With no
+    /// redundancy the part completes degenerately (there is nothing left to
+    /// read).
+    fn replan_lost_read(&mut self, op: &DiskOp, now: SimTime) {
+        let req = op.req_id();
+        let array = op.gdisk / self.dpa;
+        let local = op.gdisk % self.dpa;
+        let lost = Run {
+            disk: local,
+            block: op.block,
+            nblocks: op.nblocks,
+        };
+        let mut runs: Vec<Run> = Vec::new();
+        let mut reconstructed = false;
+        if let Some(alt) = self.map.mirror_of(lost) {
+            runs.push(alt);
+        } else {
+            for b in 0..op.nblocks as u64 {
+                for (disk, block) in self.map.peers_of(local, op.block + b) {
+                    crate::mapping::push_merged(&mut runs, disk, block);
+                }
+            }
+            reconstructed = !runs.is_empty();
+        }
+        if runs.is_empty() {
+            let phase = self.abort_phase(op, now);
+            self.request_part_done(req, now, phase);
+            return;
+        }
+        if reconstructed && op.role == OpRole::HostRead {
+            // Reconstructed data reaches the host via the tail transfer
+            // (cache fetches already route the whole reply through it).
+            self.reqs.get_mut(req).tail_channel_bytes += op.nblocks as u64 * self.block_bytes;
+        }
+        let role = match op.role {
+            OpRole::CacheFetch => OpRole::CacheFetch,
+            OpRole::HostRead if !reconstructed => OpRole::HostRead,
+            _ => OpRole::ReconstructRead,
+        };
+        if let Some(f) = self.fault.as_mut() {
+            f.ops_replayed += runs.len() as u64;
+        }
+        for run in runs {
+            let t = self.new_op(DiskOp {
+                role,
+                req: Some(req),
+                job: None,
+                dgroup: None,
+                gdisk: self.gdisk(array, run.disk),
+                block: run.block,
+                nblocks: run.nblocks,
+                kind: AccessKind::Read,
+                band: op.band,
+                feeds: false,
+                read_end: SimTime::ZERO,
+                transfer_ns: 0,
+                attempts: 0,
+                marks: OpMarks::default(),
+            });
+            self.reqs.get_mut(req).pending += 1;
+            self.enqueue_op(t);
+        }
+        // The aborted op's own share is replaced, not completed; pending
+        // stays positive because the replacements were counted first.
+        self.reqs.get_mut(req).pending -= 1;
+    }
+
+    /// Phase decomposition of an aborted part at abort time `now`: time
+    /// since enqueue is attributed to the disk queue (the op never reached
+    /// the media). Telescopes exactly to `now − arrive`.
+    fn abort_phase(&self, op: &DiskOp, now: SimTime) -> PhaseSample {
+        let r = self.reqs.get(op.req_id());
+        let m = &op.marks;
+        PhaseSample {
+            admission_ns: r.admit - r.arrive,
+            channel_ns: r.stage_end - r.admit,
+            parity_ns: m.enqueue - r.stage_end,
+            disk_queue_ns: now - m.enqueue,
+            ..PhaseSample::default()
+        }
+    }
+
+    /// Reconstruct the next batch of the failed disk's blocks: read every
+    /// surviving peer (background band), XOR, and write the result to the
+    /// spare. Batches self-perpetuate until the cursor covers the disk,
+    /// throttled to the configured rebuild rate so foreground traffic keeps
+    /// priority — the same interference channel as destaging.
+    fn on_rebuild_step(&mut self) {
+        let Some(gdisk) = self.failed_gdisk else {
+            return;
+        };
+        let now = self.engine.now();
+        let cursor = self.fault.as_ref().map_or(0, |f| f.rebuild_cursor);
+        if cursor >= self.bpd {
+            // Every block is rebuilt: the spare is a full member and the
+            // array returns to healthy-mode planning.
+            self.failed_gdisk = None;
+            if let Some(f) = self.fault.as_mut() {
+                f.rebuild_active = false;
+                f.rebuild_done = Some(now);
+                f.healthy_at = Some(now);
+            }
+            if self.event_log.is_some() {
+                let line = format!(
+                    "{{\"t\":{},\"ev\":\"rebuild_done\",\"disk\":{}}}",
+                    now.as_ns(),
+                    gdisk
+                );
+                self.write_log(&line);
+            }
+            return;
+        }
+        let batch = REBUILD_BATCH_BLOCKS.min(self.bpd - cursor) as u32;
+        if let Some(f) = self.fault.as_mut() {
+            f.rebuild_cursor += batch as u64;
+            f.step_started = now;
+        }
+        let array = gdisk / self.dpa;
+        let local = gdisk % self.dpa;
+        // Collect the peer blocks disk-major so `push_merged` coalesces
+        // each peer's contribution into one contiguous run per disk (it
+        // only merges against the last run pushed).
+        let mut pairs: Vec<(u32, u64)> = Vec::new();
+        for b in cursor..cursor + batch as u64 {
+            pairs.extend(self.map.peers_of(local, b));
+        }
+        pairs.sort_unstable();
+        let mut runs: Vec<Run> = Vec::new();
+        for (disk, block) in pairs {
+            crate::mapping::push_merged(&mut runs, disk, block);
+        }
+        let wt = self.new_op(DiskOp {
+            role: OpRole::RebuildWrite,
+            req: None,
+            job: None,
+            dgroup: None,
+            gdisk,
+            block: cursor,
+            nblocks: batch,
+            kind: AccessKind::Write,
+            band: Band::Background,
+            feeds: false,
+            read_end: SimTime::ZERO,
+            transfer_ns: 0,
+            attempts: 0,
+            marks: OpMarks::default(),
+        });
+        if runs.is_empty() {
+            // Unprotected blocks (e.g. the Parity Striping tail sliver):
+            // the spare is simply formatted through them.
+            self.enqueue_op(wt);
+            return;
+        }
+        let job = self.jobs.insert(ParityJob {
+            data_not_started: runs.len() as u32,
+            ready: SimTime::ZERO,
+            pending_parity: vec![wt],
+            rule: EnqueueRule::AtReady,
+            refs: runs.len() as u32 + 1,
+        });
+        self.ops.get_mut(wt).job = Some(job);
+        for run in runs {
+            let t = self.new_op(DiskOp {
+                role: OpRole::RebuildRead,
+                req: None,
+                job: Some(job),
+                dgroup: None,
+                gdisk: self.gdisk(array, run.disk),
+                block: run.block,
+                nblocks: run.nblocks,
+                kind: AccessKind::Read,
+                band: Band::Background,
+                feeds: true,
+                read_end: SimTime::ZERO,
+                transfer_ns: 0,
+                attempts: 0,
+                marks: OpMarks::default(),
+            });
+            self.enqueue_op(t);
+        }
+    }
+
+    /// A rebuild batch's spare write finished: count it and schedule the
+    /// next batch, no earlier than the rate throttle allows.
+    fn on_rebuild_batch_done(&mut self, op: &DiskOp) {
+        let now = self.engine.now();
+        let (rate, step_started) = match self.fault.as_mut() {
+            Some(f) => {
+                f.rebuild_blocks += op.nblocks as u64;
+                (f.fcfg.rebuild_rate_mbps, f.step_started)
+            }
+            None => return,
+        };
+        let batch_bytes = op.nblocks as u64 * self.block_bytes;
+        // rate MB/s ⇒ the batch may not complete faster than
+        // bytes·1000/rate nanoseconds after its dispatch.
+        // rate == 0 means unthrottled: the next batch may start now.
+        let next_at = match (batch_bytes * 1_000).checked_div(rate) {
+            None => now,
+            Some(d) => (step_started + d).max(now),
+        };
+        self.engine.schedule_at(next_at, Ev::RebuildStep);
+    }
+
+    /// NVRAM battery failure: cached contents are no longer safe across a
+    /// power loss, so the controller flushes everything dirty and serves
+    /// writes in write-through mode until the battery is restored.
+    fn on_battery_fail(&mut self) {
+        let now = self.engine.now();
+        match self.fault.as_mut() {
+            Some(f) if !f.battery_out => {
+                f.battery_out = true;
+                f.battery_fail_at = now;
+            }
+            _ => return,
+        }
+        for a in 0..self.arrays {
+            if self.caches.is_empty() {
+                break;
+            }
+            let groups = self.caches[a as usize].collect_destage();
+            for group in groups {
+                self.issue_destage_group(a, group);
+            }
+            if self.parity_cached {
+                self.try_drain_spool(a);
+            }
+        }
+    }
+
+    fn on_battery_restore(&mut self) {
+        let now = self.engine.now();
+        if let Some(f) = self.fault.as_mut() {
+            if f.battery_out {
+                f.battery_out = false;
+                f.battery_window_ns += now - f.battery_fail_at;
+            }
+        }
+    }
+
+    /// Whether the NVRAM battery is currently failed (write-through mode).
+    fn battery_out(&self) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.battery_out)
+    }
+
+    fn note_write_through(&mut self) {
+        if let Some(f) = self.fault.as_mut() {
+            f.writes_written_through += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
     // report
     // ------------------------------------------------------------------
 
@@ -1328,6 +1973,34 @@ impl<'t> Simulator<'t> {
                 total.overflow_events += s.overflow_events;
             }
             total
+        });
+        let faults = self.fault.as_ref().map(|f| {
+            let end = self.engine.now();
+            let battery_ns = f.battery_window_ns
+                + if f.battery_out {
+                    end - f.battery_fail_at
+                } else {
+                    0
+                };
+            FaultReport {
+                degraded_window_ms: f.failed_at.map_or(0.0, |t0| {
+                    simkit::time::ns_to_ms(f.healthy_at.unwrap_or(end) - t0)
+                }),
+                rebuild_ms: f.rebuild_started.map_or(0.0, |t0| {
+                    simkit::time::ns_to_ms(f.rebuild_done.unwrap_or(end) - t0)
+                }),
+                rebuild_blocks: f.rebuild_blocks,
+                transient_errors: f.transient_errors,
+                retries: f.retries,
+                escalations: f.escalations,
+                ops_aborted: f.ops_aborted,
+                ops_replayed: f.ops_replayed,
+                battery_window_ms: simkit::time::ns_to_ms(battery_ns),
+                writes_written_through: f.writes_written_through,
+                response_healthy_ms: f.resp_healthy,
+                response_degraded_ms: f.resp_degraded,
+                response_rebuilding_ms: f.resp_rebuilding,
+            }
         });
         SimReport {
             organization: self.cfg.organization.label().to_string(),
@@ -1358,6 +2031,7 @@ impl<'t> Simulator<'t> {
             disk_ops: self.disk_ops,
             buffer_waits: self.buffer_waits,
             elapsed_secs: self.engine.now().as_secs_f64(),
+            faults,
             timeseries: self.ts.clone(),
         }
     }
@@ -1413,7 +2087,8 @@ impl<'t> Simulator<'t> {
         let work_left = self.next_arrival < self.trace.records.len()
             || self.inflight > 0
             || self.caches.iter().any(|c| c.dirty_count() > 0)
-            || self.spools.iter().any(|s| !s.is_empty());
+            || self.spools.iter().any(|s| !s.is_empty())
+            || self.fault.as_ref().is_some_and(|f| f.rebuild_active);
         if work_left {
             self.engine
                 .schedule_at(now + self.sample_period_ns, Ev::Sample);

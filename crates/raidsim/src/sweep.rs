@@ -31,6 +31,11 @@ impl<'a> NamedRun<'a> {
 /// Run every sweep point, `threads`-wide, returning reports in input order.
 /// `threads = 0` uses the machine's available parallelism.
 ///
+/// A point whose configuration fails [`Simulator::try_new`] yields
+/// `Err(message)` in its result slot instead of poisoning the whole sweep:
+/// one bad grid corner (say, a striping unit that doesn't divide the disk)
+/// must not discard the other N−1 finished simulations.
+///
 /// Work distribution is a work-stealing loop over an atomic next-index
 /// cursor: each worker repeatedly claims the lowest unclaimed run. Unlike
 /// static chunking — where one chunk of slow runs (e.g. RAID5 at high
@@ -42,7 +47,10 @@ impl<'a> NamedRun<'a> {
 /// independent, seed-determined simulation, and results are written back
 /// by input index, so the output is bit-identical to a serial sweep in the
 /// same order.
-pub fn run_all(runs: &[NamedRun<'_>], threads: usize) -> Vec<(String, SimReport)> {
+/// One sweep point's labelled outcome.
+type Outcome = (String, Result<SimReport, String>);
+
+pub fn run_all(runs: &[NamedRun<'_>], threads: usize) -> Vec<(String, Result<SimReport, String>)> {
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(4, |n| n.get())
     } else {
@@ -54,17 +62,18 @@ pub fn run_all(runs: &[NamedRun<'_>], threads: usize) -> Vec<(String, SimReport)
     // Workers return locally collected (index, result) pairs; a worker
     // panic propagates at scope join. Indexed collection keeps the merge
     // lock-free without sharing mutable slots across threads.
-    let mut out: Vec<Option<(String, SimReport)>> = Vec::with_capacity(runs.len());
+    let mut out: Vec<Option<(String, Result<SimReport, String>)>> = Vec::with_capacity(runs.len());
     out.resize_with(runs.len(), || None);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
-                    let mut local: Vec<(usize, (String, SimReport))> = Vec::new();
+                    let mut local: Vec<(usize, Outcome)> = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(run) = runs.get(i) else { break };
-                        let report = Simulator::new(run.config.clone(), run.trace).run();
+                        let report =
+                            Simulator::try_new(run.config.clone(), run.trace).map(|s| s.run());
                         local.push((i, (run.label.clone(), report)));
                     }
                     local
@@ -110,7 +119,7 @@ mod tests {
             let serial = Simulator::new(SimConfig::with_organization(org), &trace).run();
             assert_eq!(parallel[i].0, org.label());
             assert_eq!(
-                parallel[i].1.mean_response_ms(),
+                parallel[i].1.as_ref().unwrap().mean_response_ms(),
                 serial.mean_response_ms(),
                 "parallel run must be bit-identical to serial for {}",
                 org.label()
@@ -153,7 +162,7 @@ mod tests {
             for (i, (label, report)) in parallel.iter().enumerate() {
                 assert_eq!(label, &runs[i].label, "order broken at {threads} threads");
                 assert_eq!(
-                    format!("{:?}", report.response_all_ms),
+                    format!("{:?}", report.as_ref().unwrap().response_all_ms),
                     serial[i],
                     "run {i} differs from serial at {threads} threads"
                 );
@@ -171,6 +180,29 @@ mod tests {
         )];
         let out = run_all(&runs, 0);
         assert_eq!(out.len(), 1);
-        assert!(out[0].1.requests_completed > 0);
+        assert!(out[0].1.as_ref().unwrap().requests_completed > 0);
+    }
+
+    /// One invalid grid point must not poison the sweep: the bad point
+    /// carries its configuration error in its own slot and every valid
+    /// point still completes, in input order.
+    #[test]
+    fn invalid_point_surfaces_error_without_poisoning_sweep() {
+        let trace = SynthSpec::trace2().scaled(0.005).generate();
+        let mk = |su| SimConfig::with_organization(Organization::Raid5 { striping_unit: su });
+        let runs = vec![
+            NamedRun::new("ok-a", mk(1), &trace),
+            NamedRun::new("bad", mk(0), &trace),
+            NamedRun::new("ok-b", mk(2), &trace),
+        ];
+        let out = run_all(&runs, 3);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].0, "ok-a");
+        assert!(out[0].1.is_ok());
+        assert_eq!(out[1].0, "bad");
+        let err = out[1].1.as_ref().unwrap_err();
+        assert!(err.contains("striping"), "unexpected error: {err}");
+        assert_eq!(out[2].0, "ok-b");
+        assert!(out[2].1.as_ref().unwrap().requests_completed > 0);
     }
 }

@@ -4,7 +4,7 @@
 //! because the trace-driven simulation is exactly reproducible: the same
 //! trace and seed must yield the same figures. The Rust compiler cannot
 //! enforce that, so this tool does. It walks every `.rs` file in the
-//! sim-core crates and checks four domain invariants:
+//! sim-core crates and checks five domain invariants:
 //!
 //! 1. **`hash-collection`** — no `std::collections::HashMap`/`HashSet`:
 //!    their iteration order is randomized per process, so any result that
@@ -20,6 +20,10 @@
 //!    non-test, non-bench) code: parsers and fallible paths return
 //!    `Result`; genuine invariants document themselves via the escape
 //!    hatch below.
+//! 5. **`fault-rng`** — no `FaultRng::new` outside `simkit::fault`: fault
+//!    randomness must be drawn as named substreams of a `FaultPlan`
+//!    (`plan.stream(tag)`), so two consumers can never share — or
+//!    reorder draws from — one generator.
 //!
 //! A site can opt out with a justified annotation on the same line or the
 //! line directly above:
@@ -47,7 +51,7 @@ use std::path::{Path, PathBuf};
 // Rules
 // ---------------------------------------------------------------------------
 
-/// The four determinism invariants, plus the two meta-rules about the
+/// The five determinism invariants, plus the two meta-rules about the
 /// escape-hatch annotations themselves.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
@@ -55,15 +59,17 @@ pub enum Rule {
     AmbientNondet,
     RawTimeCast,
     PanicPolicy,
+    FaultRng,
     MalformedAllow,
     UnusedAllow,
 }
 
-pub const RULES: [Rule; 6] = [
+pub const RULES: [Rule; 7] = [
     Rule::HashCollection,
     Rule::AmbientNondet,
     Rule::RawTimeCast,
     Rule::PanicPolicy,
+    Rule::FaultRng,
     Rule::MalformedAllow,
     Rule::UnusedAllow,
 ];
@@ -75,6 +81,7 @@ impl Rule {
             Rule::AmbientNondet => "ambient-nondet",
             Rule::RawTimeCast => "raw-time-cast",
             Rule::PanicPolicy => "panic-policy",
+            Rule::FaultRng => "fault-rng",
             Rule::MalformedAllow => "malformed-allow",
             Rule::UnusedAllow => "unused-allow",
         }
@@ -101,6 +108,10 @@ impl Rule {
             Rule::PanicPolicy => {
                 "library code returns Result; if this is a real invariant, document it with \
                  `// simlint::allow(panic-policy): <reason>`"
+            }
+            Rule::FaultRng => {
+                "derive fault randomness as a named substream of the plan \
+                 (`plan.stream(tag)`); only simkit::fault may construct FaultRng directly"
             }
             Rule::MalformedAllow => {
                 "write `// simlint::allow(<rule>): <reason>` — the rule must exist and the \
@@ -640,6 +651,11 @@ fn is_time_boundary(path: &str) -> bool {
     path.replace('\\', "/").ends_with("simkit/src/time.rs")
 }
 
+/// Is this file the sanctioned fault-RNG constructor site (`simkit::fault`)?
+fn is_fault_boundary(path: &str) -> bool {
+    path.replace('\\', "/").ends_with("simkit/src/fault.rs")
+}
+
 // ---------------------------------------------------------------------------
 // Rule matching
 // ---------------------------------------------------------------------------
@@ -713,6 +729,13 @@ pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
                             .is_some_and(env_read) =>
                 {
                     raw.push((Rule::AmbientNondet, toks[i].line, toks[i].col));
+                }
+                Some("FaultRng")
+                    if !is_fault_boundary(path)
+                        && path_sep(i + 1)
+                        && toks.get(i + 3).and_then(|t| t.ident()) == Some("new") =>
+                {
+                    raw.push((Rule::FaultRng, toks[i].line, toks[i].col));
                 }
                 Some(id)
                     if !is_time_boundary(path)
@@ -946,6 +969,23 @@ mod tests {
         ] {
             assert!(analyze_source(path, src, &Config::default()).is_empty());
         }
+    }
+
+    #[test]
+    fn flags_fault_rng_construction_outside_simkit_fault() {
+        let src = "fn f() { let r = FaultRng::new(7); }\n";
+        let d = lint(src);
+        assert_eq!(rules_of(&d), vec![Rule::FaultRng]);
+        assert_eq!(d[0].level, Level::Deny);
+        // The fault module itself is the sanctioned constructor site.
+        let d = analyze_source("crates/simkit/src/fault.rs", src, &Config::default());
+        assert!(d.is_empty(), "{d:?}");
+        // The fully qualified form is caught too.
+        let d = lint("fn f() { let r = simkit::fault::FaultRng::new(7); }\n");
+        assert_eq!(rules_of(&d), vec![Rule::FaultRng]);
+        // Deriving a named substream from the plan is the sanctioned way.
+        let d = lint("fn f(p: &FaultPlan) { let _r = p.stream(3); }\n");
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]

@@ -113,6 +113,32 @@ pub fn parse_trace(input: &str) -> Result<Trace, ParseError> {
                 message: "nblocks must be ≥ 1".into(),
             });
         }
+        if it.next().is_some() {
+            return Err(ParseError {
+                line: lineno,
+                message: "trailing fields after access type".into(),
+            });
+        }
+        // With a header, bounds-check each run where it appears so the
+        // error names the offending line instead of failing in the final
+        // whole-trace validation.
+        if let Some((n_disks, bpd)) = header {
+            if disk >= n_disks {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!("disk {disk} out of range (header declares {n_disks} disks)"),
+                });
+            }
+            if block.saturating_add(nblocks as u64) > bpd {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!(
+                        "run [{block}, {}) past the end of the disk ({bpd} blocks)",
+                        block.saturating_add(nblocks as u64)
+                    ),
+                });
+            }
+        }
         now += delta_ns;
 
         // Coalesce a zero-delta contiguous continuation.
@@ -225,6 +251,40 @@ mod tests {
         assert!(e.message.contains("nblocks"));
         let e = parse_trace("1 0\n").unwrap_err();
         assert!(e.message.contains("missing field"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_runs_against_header() {
+        let e = parse_trace("# disks=2 blocks_per_disk=100\n1 2 0 1 R\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("disk 2 out of range"), "{}", e.message);
+        let e = parse_trace("# disks=2 blocks_per_disk=100\n1 0 99 2 W\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("past the end"), "{}", e.message);
+        // Exactly filling the disk is fine.
+        assert!(parse_trace("# disks=2 blocks_per_disk=100\n1 0 98 2 W\n").is_ok());
+    }
+
+    #[test]
+    fn rejects_overlong_lines() {
+        let e = parse_trace("1 0 0 1 R extra\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("trailing"), "{}", e.message);
+    }
+
+    #[test]
+    fn malformed_input_never_panics() {
+        for bad in [
+            "99999999999999999999999999 0 0 1 R",
+            "1 0 0 1",
+            "R W R W R",
+            "# disks=0 blocks_per_disk=0\n1 0 0 1 R",
+            "-1 0 0 1 R",
+            "1 0 0 -1 R",
+            "\u{0} \u{0}",
+        ] {
+            let _ = parse_trace(bad);
+        }
     }
 
     #[test]

@@ -51,14 +51,18 @@ fn main() {
     let mut rows: Vec<(u32, u64, String, f64, f64)> = reports
         .into_iter()
         .zip(&runs)
-        .map(|((label, rep), (disks, cache_mb, _, _))| {
-            (
+        .filter_map(|((label, rep), (disks, cache_mb, _, _))| match rep {
+            Ok(rep) => Some((
                 *disks,
                 *cache_mb,
                 label,
                 rep.mean_response_ms(),
                 rep.quantile_ms(0.95),
-            )
+            )),
+            Err(e) => {
+                eprintln!("skipping {label}: {e}");
+                None
+            }
         })
         .collect();
     // Cheapest first: fewest disks, then least cache.

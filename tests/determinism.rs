@@ -12,7 +12,10 @@
 //! which keeps nondeterminism (hash iteration, wall-clock reads, ambient
 //! RNG) out of the sim-core crates in the first place.
 
-use raidsim::{CacheConfig, Organization, ParityPlacement, SimConfig, Simulator};
+use raidsim::{
+    CacheConfig, DiskFailure, FaultConfig, NamedRun, Organization, ParityPlacement, SimConfig,
+    Simulator,
+};
 use tracegen::{SynthSpec, Trace};
 
 fn organizations() -> [Organization; 5] {
@@ -92,6 +95,85 @@ fn different_seed_reports_differ() {
                  otherwise the seed never reaches the model",
                 org.label(),
                 cached
+            );
+        }
+    }
+}
+
+/// Degraded mode (a disk dead from time zero) replays byte-identically for
+/// every redundant organization.
+#[test]
+fn degraded_mode_reports_are_byte_identical() {
+    let trace = SynthSpec::trace2().scaled(0.02).generate();
+    for org in organizations() {
+        if org == Organization::Base {
+            continue; // Base has no redundancy and cannot run degraded
+        }
+        let degraded = |seed| {
+            let mut cfg = config(org, false, seed);
+            cfg.failed_disk = Some((0, 1));
+            cfg
+        };
+        let a = serialized_report(degraded(7), &trace);
+        let b = serialized_report(degraded(7), &trace);
+        assert_eq!(a, b, "{}: degraded replay diverged", org.label());
+    }
+}
+
+/// A fault-injected run — mid-run disk failure, aborted/re-planned
+/// in-flight operations, online rebuild onto the spare — is a pure
+/// function of (trace, config, fault seed): replays are byte-identical
+/// and a sweep produces the same bytes at any thread count.
+#[test]
+fn mid_run_failure_and_rebuild_replay_byte_identically() {
+    // Small disks so the rebuild completes inside the run.
+    let geometry = diskmodel::DiskGeometry {
+        cylinders: 2,
+        ..diskmodel::DiskGeometry::default()
+    };
+    let trace = SynthSpec {
+        name: "fault-determinism".into(),
+        seed: 0xFA17,
+        n_disks: 4,
+        blocks_per_disk: geometry.blocks_per_disk(),
+        n_requests: 400,
+        duration_secs: 8.0,
+        ..SynthSpec::trace2()
+    }
+    .generate();
+    let cfg = || {
+        let mut cfg = SimConfig::with_organization(Organization::Raid5 { striping_unit: 1 });
+        cfg.geometry = geometry.clone();
+        cfg.data_disks_per_array = 4;
+        cfg.fault = Some(FaultConfig {
+            disk_failure: Some(DiskFailure {
+                array: 0,
+                disk: 1,
+                at_ms: 1000,
+            }),
+            transient_error_prob: 0.01,
+            ..FaultConfig::default()
+        });
+        cfg
+    };
+
+    let a = serialized_report(cfg(), &trace);
+    let b = serialized_report(cfg(), &trace);
+    assert_eq!(a, b, "fault-injected replay diverged");
+    println!("report-hash fault-raid5 fnv1a={:016x}", fnv1a(a.as_bytes()));
+
+    // The same point swept under work stealing: identical bytes whichever
+    // thread runs it, at any worker count.
+    let runs: Vec<NamedRun<'_>> = (0..4)
+        .map(|i| NamedRun::new(format!("pt{i}"), cfg(), &trace))
+        .collect();
+    for threads in [1, 3, 16] {
+        let out = raidsim::run_all(&runs, threads);
+        for (label, rep) in &out {
+            let s = format!("{:#?}", rep.as_ref().expect("valid config"));
+            assert_eq!(
+                s, a,
+                "{label}: sweep at {threads} threads diverged from the serial run"
             );
         }
     }
