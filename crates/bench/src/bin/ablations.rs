@@ -5,17 +5,26 @@
 //! * RAID4 spool drain run length (SCAN batch size);
 //! * track buffers per disk (admission control pressure);
 //! * striping-unit fast paths (full-stripe/reconstruct vs always-RMW is
-//!   visible through multiblock-write-heavy workloads).
+//!   visible through multiblock-write-heavy workloads);
+//! * scheduling discipline × load (queue depth) — per-discipline mean seek
+//!   distance is also written to a results JSON for downstream tooling.
 //!
 //! ```text
-//! cargo run --release -p bench --bin ablations
+//! cargo run --release -p bench --bin ablations [-- --json PATH]
 //! ```
 
-use raidsim::{CacheConfig, Organization, SimConfig, Simulator};
+use raidsim::{CacheConfig, Discipline, Organization, SimConfig, Simulator};
 use raidtp_stats::Table;
 use tracegen::SynthSpec;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "ablations_scheduler.json".into());
     let trace = SynthSpec::trace2().generate();
 
     println!("== Ablation: destage period (cached RAID5, Trace 2, 16 MB) ==\n");
@@ -80,4 +89,48 @@ fn main() {
         ]);
     }
     print!("{}", t.render());
+
+    println!("\n== Ablation: scheduling discipline × load (non-cached Base, Trace 2) ==\n");
+    // Queue depth is driven by trace speed: FCFS and the seek-aware
+    // disciplines coincide on near-empty queues and diverge as they fill.
+    let loads: Vec<(f64, _)> = [1.0, 2.0, 4.0]
+        .into_iter()
+        .map(|speed| (speed, SynthSpec::trace2().at_speed(speed).generate()))
+        .collect();
+    let mut t = Table::new(&["discipline", "speed", "mean ms", "qdepth N", "seek cyl"]);
+    let mut json_rows = Vec::new();
+    for d in Discipline::ALL {
+        for (speed, trace) in &loads {
+            let mut cfg = SimConfig::with_organization(Organization::Base);
+            cfg.scheduler = d;
+            cfg.observability.scheduler_stats = true;
+            let r = Simulator::new(cfg, trace).run();
+            let s = r.scheduler.as_ref().expect("scheduler stats requested");
+            let qdepth = s.queue_depth_normal.mean();
+            let seek = s.mean_seek_distance_cyl();
+            t.row(&[
+                d.label().to_string(),
+                format!("{speed}"),
+                format!("{:.2}", r.mean_response_ms()),
+                format!("{:.2}", qdepth),
+                format!("{seek:.1}"),
+            ]);
+            json_rows.push(format!(
+                "    {{\"discipline\": \"{}\", \"speed\": {speed}, \
+                 \"mean_response_ms\": {:.4}, \"mean_queue_depth\": {qdepth:.4}, \
+                 \"mean_seek_distance_cyl\": {seek:.4}}}",
+                d.label(),
+                r.mean_response_ms(),
+            ));
+        }
+    }
+    print!("{}", t.render());
+    let json = format!(
+        "{{\n  \"scheduler_ablation\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => println!("\nper-discipline seek/queue statistics written to {json_path}"),
+        Err(e) => eprintln!("warning: cannot write {json_path}: {e}"),
+    }
 }

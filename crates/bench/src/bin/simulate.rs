@@ -12,8 +12,8 @@
 //! Prints the report summary plus the per-disk utilization/access table.
 
 use raidsim::{
-    CacheConfig, DiskFailure, FaultConfig, Organization, ParityPlacement, SimConfig, Simulator,
-    SyncPolicy,
+    CacheConfig, Discipline, DiskFailure, FaultConfig, Organization, ParityPlacement, SimConfig,
+    Simulator, SyncPolicy,
 };
 use tracegen::{fmt, transform, SynthSpec, Trace};
 
@@ -47,6 +47,7 @@ fn die(msg: &str) -> ! {
     eprintln!(
         "usage: simulate --org <base|mirror|raid5|raid4|parstrip> [--n N] [--su BLOCKS]\n\
          \t[--placement middle|end|rotated] [--band BLOCKS] [--sync si|rf|rfpr|df|dfpr]\n\
+         \t[--sched fcfs|sstf|scan] [--sched-stats]\n\
          \t[--cache MB] [--destage MS] [--failed ARRAY:DISK]\n\
          \t[--fail-disk [ARRAY:]DISK@TIME(s|ms)] [--spare|--no-spare] [--rebuild-rate MBPS]\n\
          \t[--transient-p F] [--max-retries N] [--battery-fail MS] [--battery-restore MS]\n\
@@ -123,6 +124,11 @@ fn main() {
         "dfpr" => SyncPolicy::DiskFirstPriority,
         other => die(&format!("unknown sync policy {other}")),
     };
+    if let Some(name) = args.get("--sched") {
+        cfg.scheduler = Discipline::from_name(name)
+            .unwrap_or_else(|| die(&format!("unknown scheduling discipline {name}")));
+    }
+    cfg.observability.scheduler_stats = args.flag("--sched-stats");
     if let Some(mb) = args.get("--cache") {
         cfg.cache = Some(CacheConfig {
             size_mb: mb.parse().unwrap_or_else(|_| die("bad --cache")),
@@ -274,6 +280,17 @@ fn main() {
                 parts.join(" | ")
             );
         }
+    }
+    if let Some(s) = &report.scheduler {
+        println!(
+            "scheduler {}: mean seek {:.1} cyl over {} dispatches | qdepth P {:.2} / N {:.2} / B {:.2}",
+            s.discipline,
+            s.mean_seek_distance_cyl(),
+            s.seek_distance_cyl.count(),
+            s.queue_depth_priority.mean(),
+            s.queue_depth_normal.mean(),
+            s.queue_depth_background.mean(),
+        );
     }
     if let Some(ts) = &report.timeseries {
         println!(

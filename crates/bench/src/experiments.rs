@@ -7,8 +7,8 @@
 use crate::Workloads;
 use diskmodel::{DiskGeometry, SeekCurve};
 use raidsim::{
-    CacheConfig, DiskFailure, FaultConfig, Organization, ParityPlacement, SimConfig, SimReport,
-    Simulator, SyncPolicy,
+    CacheConfig, Discipline, DiskFailure, FaultConfig, Organization, ParityPlacement, SimConfig,
+    SimReport, Simulator, SyncPolicy,
 };
 use raidtp_stats::Table;
 use tracegen::{transform, Trace, TraceStats};
@@ -774,6 +774,101 @@ pub fn breakdown(w: &Workloads) {
     println!();
 }
 
+/// Extension experiment: disk scheduling disciplines. The paper's
+/// simulator serves each band FCFS (Section 3.3); this compares FCFS
+/// against SSTF and SCAN on the same configurations as `breakdown` — the
+/// FCFS columns must reproduce that experiment's mean read/write columns
+/// exactly, because the default discipline *is* the paper's model and the
+/// dispatch seam is hash-neutral under it. A high-load section then runs
+/// all five organizations at Trace 2 @2× speed, where queues are deep
+/// enough for reordering to matter, and reports per-discipline mean seek
+/// distance and foreground queue depth.
+pub fn scheduling(w: &Workloads) {
+    println!("== Scheduling: queue disciplines (FCFS vs SSTF vs SCAN) ==\n");
+    let header = ["organization", "dir", "FCFS", "SSTF", "SCAN"];
+    let rows_for = |t: &mut Table, label: &str, reports: &[SimReport]| {
+        for (dir, mean) in [
+            ("R", SimReport::mean_read_ms as fn(&SimReport) -> f64),
+            ("W", SimReport::mean_write_ms),
+        ] {
+            let mut row = vec![label.to_string(), dir.to_string()];
+            row.extend(reports.iter().map(|r| ms(mean(r))));
+            t.row(&row);
+        }
+    };
+    let sweep = |t: &mut Table, org: Organization, cache_mb: Option<u64>, trace: &Trace| {
+        let reports: Vec<SimReport> = Discipline::ALL
+            .into_iter()
+            .map(|d| {
+                let mut c = cfg(org, 10, cache_mb);
+                c.scheduler = d;
+                run(c, trace)
+            })
+            .collect();
+        rows_for(t, org.label(), &reports);
+    };
+    for (tname, trace) in w.named() {
+        println!("-- {tname}, no cache (FCFS columns = `breakdown` means) --");
+        let mut t = Table::new(&header);
+        for org in main_orgs() {
+            sweep(&mut t, org, None, trace);
+        }
+        print!("{}", t.render());
+        println!();
+    }
+    println!("-- Trace 2, 4 MB NV cache --");
+    let mut t = Table::new(&header);
+    for org in [
+        Organization::Raid5 { striping_unit: 1 },
+        Organization::Raid4 { striping_unit: 1 },
+    ] {
+        sweep(&mut t, org, Some(4), &w.trace2);
+    }
+    print!("{}", t.render());
+
+    println!("\n-- Trace 2 @2x speed, no cache: high load, all organizations --");
+    let trace = transform::at_speed(&w.trace2, 2.0);
+    let mut t = Table::new(&[
+        "organization",
+        "discipline",
+        "mean ms",
+        "p95 ms",
+        "seek cyl",
+        "qdepth N",
+    ]);
+    let all_orgs = [
+        Organization::Base,
+        Organization::Mirror,
+        Organization::Raid5 { striping_unit: 1 },
+        Organization::Raid4 { striping_unit: 1 },
+        Organization::ParityStriping {
+            placement: ParityPlacement::Middle,
+        },
+    ];
+    for org in all_orgs {
+        for d in Discipline::ALL {
+            let mut c = cfg(org, 10, None);
+            c.scheduler = d;
+            c.observability.scheduler_stats = true;
+            let r = run(c, &trace);
+            let s = r
+                .scheduler
+                .as_ref()
+                .expect("scheduler_stats attaches statistics");
+            t.row(&[
+                org.label().to_string(),
+                d.label().to_string(),
+                ms(r.mean_response_ms()),
+                ms(r.quantile_ms(0.95)),
+                format!("{:.1}", s.mean_seek_distance_cyl()),
+                format!("{:.2}", s.queue_depth_normal.mean()),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!();
+}
+
 /// All experiment ids in paper order.
 pub const ALL: &[Experiment] = &[
     ("table1", table1),
@@ -798,6 +893,7 @@ pub const ALL: &[Experiment] = &[
     ("rebuild", rebuild),
     ("finegrain", finegrain),
     ("breakdown", breakdown),
+    ("scheduling", scheduling),
 ];
 
 #[cfg(test)]

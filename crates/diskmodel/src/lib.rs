@@ -17,6 +17,9 @@
 //!   for plain reads/writes and read-modify-write accesses.
 //! * [`OpQueue`] — a three-band (priority / normal / background) FIFO queue
 //!   used for pending operations at each drive.
+//! * [`DiskScheduler`] — the pluggable service-discipline seam over those
+//!   bands: [`Fcfs`] (the paper's discipline and the default), [`Sstf`],
+//!   and [`Scan`], selected by [`Discipline`].
 //!
 //! Simplifications, documented here once: head-switch and track-crossing
 //! overheads inside a multi-block transfer are folded into the linear
@@ -26,9 +29,11 @@
 pub mod disk;
 pub mod geometry;
 pub mod opqueue;
+pub mod scheduler;
 pub mod seek;
 
 pub use disk::{rmw_write_complete, AccessKind, AccessTiming, Disk};
 pub use geometry::{BlockNo, Cylinder, DiskGeometry};
 pub use opqueue::{Band, OpQueue};
+pub use scheduler::{Discipline, DiskScheduler, Fcfs, Scan, SchedulerQueue, Sstf};
 pub use seek::SeekCurve;

@@ -21,6 +21,28 @@ pub enum Band {
     Background,
 }
 
+impl Band {
+    /// All bands in service order (highest precedence first).
+    pub const ALL: [Band; 3] = [Band::Priority, Band::Normal, Band::Background];
+
+    /// Dense index in service order (`Priority` = 0).
+    pub fn index(self) -> usize {
+        match self {
+            Band::Priority => 0,
+            Band::Normal => 1,
+            Band::Background => 2,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Band::Priority => "priority",
+            Band::Normal => "normal",
+            Band::Background => "background",
+        }
+    }
+}
+
 /// Three-band FIFO queue.
 #[derive(Clone, Debug)]
 pub struct OpQueue<T> {
@@ -51,6 +73,16 @@ impl<T> OpQueue<T> {
 
     /// Enqueue at the head of a band (used to put back an operation that
     /// could not be dispatched, e.g. a write waiting for a free buffer).
+    ///
+    /// **Put-back contract** (shared with `DiskScheduler::put_back`): the
+    /// operation re-enters at the head of *its own band* only. Band
+    /// precedence remains absolute — a `Priority` operation pushed *after*
+    /// the put-back is still popped first, interleaving ahead of the
+    /// resumed request. That is intentional, not an inversion hazard:
+    /// RF/PR parity accesses must overtake every non-parity access queued
+    /// at the disk (Section 3.3), including one that was put back while
+    /// waiting for a buffer. Within the band, the put-back precedes all
+    /// previously queued work.
     pub fn push_front(&mut self, band: Band, item: T) {
         self.deque_mut(band).push_front(item);
     }
@@ -95,6 +127,15 @@ impl<T> OpQueue<T> {
 
     pub fn background_len(&self) -> usize {
         self.background.len()
+    }
+
+    /// Operations queued in one band.
+    pub fn band_len(&self, band: Band) -> usize {
+        match band {
+            Band::Priority => self.priority.len(),
+            Band::Normal => self.normal.len(),
+            Band::Background => self.background.len(),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
@@ -149,6 +190,43 @@ mod tests {
         q.push_front(b, x);
         assert_eq!(q.pop(), Some((Band::Normal, 1)));
         assert_eq!(q.pop(), Some((Band::Normal, 2)));
+    }
+
+    /// The documented put-back contract: a later `Priority` push
+    /// interleaves ahead of a `Normal` put-back (bands stay absolute),
+    /// while within the band the put-back precedes all queued work.
+    #[test]
+    fn put_back_yields_to_later_priority_push() {
+        let mut q = OpQueue::new();
+        q.push(Band::Normal, "w1"); // e.g. a write waiting for a buffer
+        q.push(Band::Normal, "w2");
+        let (b, x) = q.pop().unwrap();
+        assert_eq!(x, "w1");
+        q.push_front(b, x); // put back: buffer still unavailable
+        q.push(Band::Priority, "parity"); // RF/PR parity access arrives
+        assert_eq!(
+            q.pop(),
+            Some((Band::Priority, "parity")),
+            "priority must overtake the put-back (Section 3.3)"
+        );
+        assert_eq!(
+            q.pop(),
+            Some((Band::Normal, "w1")),
+            "put-back first in band"
+        );
+        assert_eq!(q.pop(), Some((Band::Normal, "w2")));
+    }
+
+    #[test]
+    fn band_helpers_and_labels() {
+        assert_eq!(Band::ALL.map(Band::index), [0, 1, 2]);
+        assert_eq!(Band::Priority.label(), "priority");
+        let mut q = OpQueue::new();
+        q.push(Band::Normal, 1);
+        q.push(Band::Background, 2);
+        assert_eq!(q.band_len(Band::Priority), 0);
+        assert_eq!(q.band_len(Band::Normal), 1);
+        assert_eq!(q.band_len(Band::Background), 1);
     }
 
     #[test]

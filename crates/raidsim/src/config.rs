@@ -1,6 +1,6 @@
 //! Simulation configuration: organizations, policies, and Table 4 defaults.
 
-use diskmodel::{DiskGeometry, SeekCurve};
+use diskmodel::{Discipline, DiskGeometry, SeekCurve};
 use serde::{Deserialize, Serialize};
 
 /// Where Parity Striping places the parity areas on each disk (Section
@@ -136,6 +136,11 @@ pub struct ObservabilityConfig {
     /// disk-op dispatches/completions, request completions with their phase
     /// breakdown). The file is created at simulation start and overwritten.
     pub event_log: Option<std::path::PathBuf>,
+    /// Attach a [`crate::SchedulerReport`] (per-band queue depths, seek
+    /// statistics) to the report even under the default FCFS discipline.
+    /// Non-FCFS runs always report it; for FCFS it is opt-in so the default
+    /// report stays byte-identical to the pre-seam simulator.
+    pub scheduler_stats: bool,
 }
 
 impl ObservabilityConfig {
@@ -143,7 +148,7 @@ impl ObservabilityConfig {
     pub fn sampled(period_ms: u64) -> ObservabilityConfig {
         ObservabilityConfig {
             sample_period_ms: Some(period_ms),
-            event_log: None,
+            ..ObservabilityConfig::default()
         }
     }
 }
@@ -224,6 +229,12 @@ pub struct SimConfig {
     /// Track buffers per attached disk (Section 3.4: five).
     pub track_buffers_per_disk: u32,
     pub sync: SyncPolicy,
+    /// Per-drive service discipline (the dispatch layer's seam). The
+    /// paper's discipline — and the default — is [`Discipline::Fcfs`];
+    /// SSTF/SCAN are position-aware extension axes. All disciplines
+    /// preserve the Priority > Normal > Background band contract, so
+    /// RF/PR and destage semantics are identical across them.
+    pub scheduler: Discipline,
     /// `Some` for cached organizations.
     pub cache: Option<CacheConfig>,
     /// Seed for disk rotational phases (disks are not spindle-synchronized).
@@ -251,6 +262,7 @@ impl Default for SimConfig {
             channel_bytes_per_sec: 10_000_000,
             track_buffers_per_disk: 5,
             sync: SyncPolicy::DiskFirst,
+            scheduler: Discipline::Fcfs,
             cache: None,
             seed: 0x5241_4944,
             failed_disk: None,
@@ -405,8 +417,24 @@ mod tests {
         assert_eq!(cfg.data_disks_per_array, 10);
         assert_eq!(cfg.sync, SyncPolicy::DiskFirst);
         assert_eq!(cfg.organization, Organization::Raid5 { striping_unit: 1 });
+        assert_eq!(
+            cfg.scheduler,
+            Discipline::Fcfs,
+            "FCFS is the paper's discipline and must stay the default"
+        );
         assert!(cfg.validate().is_ok());
         assert_eq!(CacheConfig::default().size_mb, 16);
+    }
+
+    #[test]
+    fn every_discipline_validates() {
+        for d in Discipline::ALL {
+            let cfg = SimConfig {
+                scheduler: d,
+                ..SimConfig::default()
+            };
+            assert!(cfg.validate().is_ok(), "{} must validate", d.label());
+        }
     }
 
     #[test]

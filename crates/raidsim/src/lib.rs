@@ -37,6 +37,7 @@ pub use config::{
     CacheConfig, DiskFailure, FaultConfig, ObservabilityConfig, Organization, ParityPlacement,
     SimConfig, SyncPolicy,
 };
-pub use report::{FaultReport, PhaseSample, PhaseWelfords, SimReport};
+pub use diskmodel::Discipline;
+pub use report::{FaultReport, PhaseSample, PhaseWelfords, SchedulerReport, SimReport};
 pub use sim::{RunStats, Simulator};
 pub use sweep::{run_all, NamedRun};

@@ -1,5 +1,7 @@
 //! Simulation results.
 
+use std::fmt;
+
 use nvcache::CacheStats;
 use raidtp_stats::{DiskCounters, Histogram, TimeSeries, Welford};
 use serde::{Deserialize, Serialize};
@@ -151,11 +153,47 @@ impl FaultReport {
     }
 }
 
+/// Dispatch-layer statistics: what the configured [`Discipline`] did with
+/// each drive's queue. Present when the run used a non-FCFS discipline, or
+/// when `ObservabilityConfig::scheduler_stats` opted in (the FCFS default
+/// omits it so the report stays byte-identical to the pre-seam simulator —
+/// see the manual [`fmt::Debug`] impl on [`SimReport`]).
+///
+/// [`Discipline`]: diskmodel::Discipline
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SchedulerReport {
+    /// Discipline label (`"FCFS"`, `"SSTF"`, `"SCAN"`).
+    pub discipline: String,
+    /// Arm travel of each dispatched operation, cylinders (|target −
+    /// current|, measured at dispatch over every drive).
+    pub seek_distance_cyl: Welford,
+    /// Queue depth of each band, observed at every dispatch decision
+    /// (including the op being dispatched).
+    pub queue_depth_priority: Welford,
+    pub queue_depth_normal: Welford,
+    pub queue_depth_background: Welford,
+}
+
+impl SchedulerReport {
+    /// Mean arm travel per dispatched operation, cylinders — the figure of
+    /// merit for position-aware disciplines.
+    pub fn mean_seek_distance_cyl(&self) -> f64 {
+        self.seek_distance_cyl.mean()
+    }
+
+    /// Mean total queue depth (all bands) seen at dispatch.
+    pub fn mean_queue_depth(&self) -> f64 {
+        self.queue_depth_priority.mean()
+            + self.queue_depth_normal.mean()
+            + self.queue_depth_background.mean()
+    }
+}
+
 /// Everything a run measured. Response times are *host-observed*: from
 /// request arrival to the last byte landing (reads) or to the data — and,
 /// in non-cached parity organizations, the parity — being on stable storage
 /// (writes).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Serialize, Deserialize)]
 pub struct SimReport {
     /// Organization label (e.g. `"RAID5"`).
     pub organization: String,
@@ -202,6 +240,46 @@ pub struct SimReport {
     /// Sampled state over time, present when
     /// `SimConfig::observability.sample_period_ms` was set.
     pub timeseries: Option<TimeSeries>,
+
+    /// Dispatch-layer statistics, present for non-FCFS disciplines or when
+    /// `observability.scheduler_stats` was set.
+    pub scheduler: Option<SchedulerReport>,
+}
+
+/// Matches `#[derive(Debug)]` byte-for-byte for every pre-seam field, but
+/// omits `scheduler` when it is `None`. The determinism suite hashes the
+/// `{:#?}` serialization of default-FCFS reports against pre-refactor
+/// baselines, so the default output must not grow a field.
+impl fmt::Debug for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("SimReport");
+        s.field("organization", &self.organization)
+            .field("requests_completed", &self.requests_completed)
+            .field("reads_completed", &self.reads_completed)
+            .field("writes_completed", &self.writes_completed)
+            .field("response_all_ms", &self.response_all_ms)
+            .field("response_reads_ms", &self.response_reads_ms)
+            .field("response_writes_ms", &self.response_writes_ms)
+            .field("histogram_ms", &self.histogram_ms)
+            .field("phases_reads", &self.phases_reads)
+            .field("phases_writes", &self.phases_writes)
+            .field("per_disk_accesses", &self.per_disk_accesses)
+            .field("disk_utilization", &self.disk_utilization)
+            .field("channel_utilization", &self.channel_utilization)
+            .field("cache", &self.cache)
+            .field("spool_peak", &self.spool_peak)
+            .field("spool_merges", &self.spool_merges)
+            .field("spool_stalls", &self.spool_stalls)
+            .field("disk_ops", &self.disk_ops)
+            .field("buffer_waits", &self.buffer_waits)
+            .field("elapsed_secs", &self.elapsed_secs)
+            .field("faults", &self.faults)
+            .field("timeseries", &self.timeseries);
+        if let Some(sched) = &self.scheduler {
+            s.field("scheduler", sched);
+        }
+        s.finish()
+    }
 }
 
 impl SimReport {
@@ -300,6 +378,7 @@ mod tests {
             elapsed_secs: 1.0,
             faults: None,
             timeseries: None,
+            scheduler: None,
         }
     }
 

@@ -1,0 +1,472 @@
+//! Faults layer: failure injection, degraded operation, online rebuild,
+//! and NVRAM battery failover.
+//!
+//! Owns the fault-injection runtime state ([`FaultState`]), the mid-run
+//! disk-failure path (abort + degraded re-plan of everything queued at the
+//! failed drive), the rate-throttled online rebuild onto a hot spare, and
+//! the battery-failure write-through window.
+
+use super::*;
+
+/// An injected fault hitting the simulated hardware, resolved to engine
+/// coordinates (global disk index).
+#[derive(Clone, Copy, Debug)]
+pub(super) enum FaultKind {
+    DiskFail { gdisk: u32 },
+    BatteryFail,
+    BatteryRestore,
+}
+
+/// Number of spare blocks reconstructed per rebuild batch. One batch is one
+/// background write to the spare fed by peer reads; small enough that
+/// foreground traffic interleaves between batches, large enough that the
+/// sweep is not all seeks.
+const REBUILD_BATCH_BLOCKS: u64 = 64;
+
+/// Runtime state of the fault-injection engine, present iff
+/// [`SimConfig::fault`] is set. Owns the injected-event plan, the per-disk
+/// transient-error streams, the failure/rebuild timeline, and every counter
+/// reported in [`FaultReport`].
+pub(super) struct FaultState {
+    pub(super) fcfg: FaultConfig,
+    pub(super) plan: FaultPlan,
+    /// One independent error stream per physical disk, split off the fault
+    /// seed, so one disk's draw sequence never depends on another's op
+    /// count.
+    pub(super) rngs: Vec<FaultRng>,
+    // Disk-failure / rebuild timeline.
+    pub(super) failed_at: Option<SimTime>,
+    pub(super) healthy_at: Option<SimTime>,
+    pub(super) rebuild_started: Option<SimTime>,
+    pub(super) rebuild_done: Option<SimTime>,
+    pub(super) rebuild_active: bool,
+    /// Next spare block to reconstruct.
+    pub(super) rebuild_cursor: u64,
+    /// When the in-flight rebuild batch was dispatched (rate throttling).
+    pub(super) step_started: SimTime,
+    pub(super) rebuild_blocks: u64,
+    // NVRAM battery.
+    pub(super) battery_out: bool,
+    pub(super) battery_fail_at: SimTime,
+    pub(super) battery_window_ns: u64,
+    pub(super) writes_written_through: u64,
+    // Error/recovery counters.
+    pub(super) transient_errors: u64,
+    pub(super) retries: u64,
+    pub(super) escalations: u64,
+    pub(super) ops_aborted: u64,
+    pub(super) ops_replayed: u64,
+    // Response split by the array state the request arrived under.
+    pub(super) resp_healthy: Welford,
+    pub(super) resp_degraded: Welford,
+    pub(super) resp_rebuilding: Welford,
+}
+
+impl FaultState {
+    pub(super) fn new(fcfg: FaultConfig, plan: FaultPlan, rngs: Vec<FaultRng>) -> FaultState {
+        FaultState {
+            fcfg,
+            plan,
+            rngs,
+            failed_at: None,
+            healthy_at: None,
+            rebuild_started: None,
+            rebuild_done: None,
+            rebuild_active: false,
+            rebuild_cursor: 0,
+            step_started: SimTime::ZERO,
+            rebuild_blocks: 0,
+            battery_out: false,
+            battery_fail_at: SimTime::ZERO,
+            battery_window_ns: 0,
+            writes_written_through: 0,
+            transient_errors: 0,
+            retries: 0,
+            escalations: 0,
+            ops_aborted: 0,
+            ops_replayed: 0,
+            resp_healthy: Welford::new(),
+            resp_degraded: Welford::new(),
+            resp_rebuilding: Welford::new(),
+        }
+    }
+}
+
+impl<'t> Simulator<'t> {
+    /// A disk permanently fails (injected or escalated from exhausted
+    /// retries): every op queued on or in service at it is aborted and
+    /// re-planned through the degraded machinery; the array switches to
+    /// degraded planning; with a hot spare configured, the online rebuild
+    /// starts immediately.
+    pub(super) fn on_disk_fail(&mut self, gdisk: u32) {
+        if self.failed_gdisk.is_some() {
+            return; // already degraded; config validation forbids a second
+        }
+        let now = self.engine.now();
+        self.failed_gdisk = Some(gdisk);
+        if let Some(f) = self.fault.as_mut() {
+            f.failed_at = Some(now);
+        }
+        if self.event_log.is_some() {
+            let line = format!(
+                "{{\"t\":{},\"ev\":\"disk_fail\",\"disk\":{}}}",
+                now.as_ns(),
+                gdisk
+            );
+            self.write_log(&line);
+        }
+        let g = gdisk as usize;
+        if let Some(ev) = self.service_ev[g].take() {
+            self.engine.cancel(ev);
+        }
+        let mut lost: Vec<(u32, bool)> = Vec::new();
+        if let Some(t) = self.in_service[g].take() {
+            lost.push((t, true));
+        }
+        let arm = self.disks[g].current_cylinder();
+        while let Some((_, t)) = self.queues[g].pop(arm) {
+            lost.push((t, false));
+        }
+        for (t, started) in lost {
+            self.abort_op(t, started);
+        }
+        // A failed RAID4 parity disk orphans the spool: nothing can drain
+        // it anymore, so give the reserved cache slots back.
+        if self.parity_cached && gdisk % self.dpa == self.n {
+            let a = (gdisk / self.dpa) as usize;
+            while let Some(run) = self.spools[a].pop_run(u32::MAX) {
+                self.caches[a].release_slots(run.nblocks as usize);
+            }
+        }
+        if self.fault.as_ref().is_some_and(|f| f.fcfg.spare) {
+            // The hot spare takes the failed slot with a fresh spindle.
+            let phase = spindle_phase(self.cfg.seed, (self.disks.len() + g) as u64, self.rot_ns);
+            self.disks[g] = Disk::new(self.cfg.geometry.clone(), self.cfg.seek, phase);
+            if let Some(f) = self.fault.as_mut() {
+                f.rebuild_started = Some(now);
+                f.rebuild_active = true;
+                f.rebuild_cursor = 0;
+            }
+            self.engine.schedule_now(Ev::RebuildStep);
+        }
+    }
+
+    /// Remove an op addressed to a failed disk, settle its bookkeeping, and
+    /// re-plan host-facing reads of lost data through the degraded path.
+    /// `started` marks an op that was in service: its feeder contribution,
+    /// if any, already happened at dispatch.
+    pub(super) fn abort_op(&mut self, token: u32, started: bool) {
+        let now = self.engine.now();
+        let op = self.ops.remove(token);
+        if let Some(f) = self.fault.as_mut() {
+            f.ops_aborted += 1;
+        }
+        // A queued feeder never started: its parity job must not wait for a
+        // read that will never happen.
+        if op.feeds && !started {
+            if let Some(j) = op.job {
+                self.feed_job(j, now);
+            }
+        }
+        match op.role {
+            OpRole::HostRead | OpRole::CacheFetch | OpRole::ReconstructRead => {
+                self.replan_lost_read(&op, now);
+            }
+            OpRole::HostWrite | OpRole::RmwData => {
+                let phase = self.abort_phase(&op, now);
+                self.request_part_done(op.req_id(), now, phase);
+            }
+            OpRole::ParityRmw | OpRole::ParityWrite => {
+                if let Some(req) = op.req {
+                    let phase = self.abort_phase(&op, now);
+                    self.request_part_done(req, now, phase);
+                }
+                if let Some(j) = op.job {
+                    self.jobs.get_mut(j).refs -= 1;
+                    self.maybe_free_job(j);
+                }
+            }
+            OpRole::ExtraRead | OpRole::Writeback => {
+                if let Some(req) = op.req {
+                    let phase = self.abort_phase(&op, now);
+                    self.request_part_done(req, now, phase);
+                }
+            }
+            OpRole::DestageData => {
+                // simlint::allow(panic-policy): same invariant as completion — a destage op always carries its group
+                let dg = op.dgroup.expect("destage op lost its group");
+                self.dgroups.get_mut(dg).remaining -= 1;
+                if self.dgroups.get(dg).remaining == 0 {
+                    let dj = self.dgroups.remove(dg);
+                    let array = (op.gdisk / self.dpa) as usize;
+                    self.caches[array].destage_complete(&dj.group);
+                }
+            }
+            OpRole::DestageParity | OpRole::RebuildWrite => {
+                if let Some(j) = op.job {
+                    self.jobs.get_mut(j).refs -= 1;
+                    self.maybe_free_job(j);
+                }
+            }
+            OpRole::SpoolDrain => {
+                let array = (op.gdisk / self.dpa) as usize;
+                self.caches[array].release_slots(op.nblocks as usize);
+            }
+            OpRole::RebuildRead => {}
+        }
+    }
+
+    /// A host-facing read lost its target disk mid-flight. Mirror reads
+    /// redirect to the surviving copy; parity organizations read every
+    /// surviving peer of each lost block and XOR-reconstruct, routing the
+    /// rebuilt data through the request's tail channel transfer. With no
+    /// redundancy the part completes degenerately (there is nothing left to
+    /// read).
+    fn replan_lost_read(&mut self, op: &DiskOp, now: SimTime) {
+        let req = op.req_id();
+        let array = op.gdisk / self.dpa;
+        let local = op.gdisk % self.dpa;
+        let lost = Run {
+            disk: local,
+            block: op.block,
+            nblocks: op.nblocks,
+        };
+        let mut runs: Vec<Run> = Vec::new();
+        let mut reconstructed = false;
+        if let Some(alt) = self.planner.mirror_of(lost) {
+            runs.push(alt);
+        } else {
+            for b in 0..op.nblocks as u64 {
+                for (disk, block) in self.planner.peers_of(local, op.block + b) {
+                    crate::mapping::push_merged(&mut runs, disk, block);
+                }
+            }
+            reconstructed = !runs.is_empty();
+        }
+        if runs.is_empty() {
+            let phase = self.abort_phase(op, now);
+            self.request_part_done(req, now, phase);
+            return;
+        }
+        if reconstructed && op.role == OpRole::HostRead {
+            // Reconstructed data reaches the host via the tail transfer
+            // (cache fetches already route the whole reply through it).
+            self.reqs.get_mut(req).tail_channel_bytes += op.nblocks as u64 * self.block_bytes;
+        }
+        let role = match op.role {
+            OpRole::CacheFetch => OpRole::CacheFetch,
+            OpRole::HostRead if !reconstructed => OpRole::HostRead,
+            _ => OpRole::ReconstructRead,
+        };
+        if let Some(f) = self.fault.as_mut() {
+            f.ops_replayed += runs.len() as u64;
+        }
+        for run in runs {
+            let t = self.new_op(DiskOp {
+                role,
+                req: Some(req),
+                job: None,
+                dgroup: None,
+                gdisk: self.gdisk(array, run.disk),
+                block: run.block,
+                nblocks: run.nblocks,
+                kind: AccessKind::Read,
+                band: op.band,
+                feeds: false,
+                read_end: SimTime::ZERO,
+                transfer_ns: 0,
+                attempts: 0,
+                marks: OpMarks::default(),
+            });
+            self.reqs.get_mut(req).pending += 1;
+            self.enqueue_op(t);
+        }
+        // The aborted op's own share is replaced, not completed; pending
+        // stays positive because the replacements were counted first.
+        self.reqs.get_mut(req).pending -= 1;
+    }
+
+    /// Phase decomposition of an aborted part at abort time `now`: time
+    /// since enqueue is attributed to the disk queue (the op never reached
+    /// the media). Telescopes exactly to `now − arrive`.
+    fn abort_phase(&self, op: &DiskOp, now: SimTime) -> PhaseSample {
+        let r = self.reqs.get(op.req_id());
+        let m = &op.marks;
+        PhaseSample {
+            admission_ns: r.admit - r.arrive,
+            channel_ns: r.stage_end - r.admit,
+            parity_ns: m.enqueue - r.stage_end,
+            disk_queue_ns: now - m.enqueue,
+            ..PhaseSample::default()
+        }
+    }
+
+    /// Reconstruct the next batch of the failed disk's blocks: read every
+    /// surviving peer (background band), XOR, and write the result to the
+    /// spare. Batches self-perpetuate until the cursor covers the disk,
+    /// throttled to the configured rebuild rate so foreground traffic keeps
+    /// priority — the same interference channel as destaging.
+    pub(super) fn on_rebuild_step(&mut self) {
+        let Some(gdisk) = self.failed_gdisk else {
+            return;
+        };
+        let now = self.engine.now();
+        let cursor = self.fault.as_ref().map_or(0, |f| f.rebuild_cursor);
+        if cursor >= self.bpd {
+            // Every block is rebuilt: the spare is a full member and the
+            // array returns to healthy-mode planning.
+            self.failed_gdisk = None;
+            if let Some(f) = self.fault.as_mut() {
+                f.rebuild_active = false;
+                f.rebuild_done = Some(now);
+                f.healthy_at = Some(now);
+            }
+            if self.event_log.is_some() {
+                let line = format!(
+                    "{{\"t\":{},\"ev\":\"rebuild_done\",\"disk\":{}}}",
+                    now.as_ns(),
+                    gdisk
+                );
+                self.write_log(&line);
+            }
+            return;
+        }
+        let batch = REBUILD_BATCH_BLOCKS.min(self.bpd - cursor) as u32;
+        if let Some(f) = self.fault.as_mut() {
+            f.rebuild_cursor += batch as u64;
+            f.step_started = now;
+        }
+        let array = gdisk / self.dpa;
+        let local = gdisk % self.dpa;
+        // Collect the peer blocks disk-major so `push_merged` coalesces
+        // each peer's contribution into one contiguous run per disk (it
+        // only merges against the last run pushed).
+        let mut pairs: Vec<(u32, u64)> = Vec::new();
+        for b in cursor..cursor + batch as u64 {
+            pairs.extend(self.planner.peers_of(local, b));
+        }
+        pairs.sort_unstable();
+        let mut runs: Vec<Run> = Vec::new();
+        for (disk, block) in pairs {
+            crate::mapping::push_merged(&mut runs, disk, block);
+        }
+        let wt = self.new_op(DiskOp {
+            role: OpRole::RebuildWrite,
+            req: None,
+            job: None,
+            dgroup: None,
+            gdisk,
+            block: cursor,
+            nblocks: batch,
+            kind: AccessKind::Write,
+            band: Band::Background,
+            feeds: false,
+            read_end: SimTime::ZERO,
+            transfer_ns: 0,
+            attempts: 0,
+            marks: OpMarks::default(),
+        });
+        if runs.is_empty() {
+            // Unprotected blocks (e.g. the Parity Striping tail sliver):
+            // the spare is simply formatted through them.
+            self.enqueue_op(wt);
+            return;
+        }
+        let job = self.jobs.insert(ParityJob {
+            data_not_started: runs.len() as u32,
+            ready: SimTime::ZERO,
+            pending_parity: vec![wt],
+            rule: EnqueueRule::AtReady,
+            refs: runs.len() as u32 + 1,
+        });
+        self.ops.get_mut(wt).job = Some(job);
+        for run in runs {
+            let t = self.new_op(DiskOp {
+                role: OpRole::RebuildRead,
+                req: None,
+                job: Some(job),
+                dgroup: None,
+                gdisk: self.gdisk(array, run.disk),
+                block: run.block,
+                nblocks: run.nblocks,
+                kind: AccessKind::Read,
+                band: Band::Background,
+                feeds: true,
+                read_end: SimTime::ZERO,
+                transfer_ns: 0,
+                attempts: 0,
+                marks: OpMarks::default(),
+            });
+            self.enqueue_op(t);
+        }
+    }
+
+    /// A rebuild batch's spare write finished: count it and schedule the
+    /// next batch, no earlier than the rate throttle allows.
+    pub(super) fn on_rebuild_batch_done(&mut self, op: &DiskOp) {
+        let now = self.engine.now();
+        let (rate, step_started) = match self.fault.as_mut() {
+            Some(f) => {
+                f.rebuild_blocks += op.nblocks as u64;
+                (f.fcfg.rebuild_rate_mbps, f.step_started)
+            }
+            None => return,
+        };
+        let batch_bytes = op.nblocks as u64 * self.block_bytes;
+        // rate MB/s ⇒ the batch may not complete faster than
+        // bytes·1000/rate nanoseconds after its dispatch.
+        // rate == 0 means unthrottled: the next batch may start now.
+        let next_at = match (batch_bytes * 1_000).checked_div(rate) {
+            None => now,
+            Some(d) => (step_started + d).max(now),
+        };
+        self.engine.schedule_at(next_at, Ev::RebuildStep);
+    }
+
+    /// NVRAM battery failure: cached contents are no longer safe across a
+    /// power loss, so the controller flushes everything dirty and serves
+    /// writes in write-through mode until the battery is restored.
+    pub(super) fn on_battery_fail(&mut self) {
+        let now = self.engine.now();
+        match self.fault.as_mut() {
+            Some(f) if !f.battery_out => {
+                f.battery_out = true;
+                f.battery_fail_at = now;
+            }
+            _ => return,
+        }
+        for a in 0..self.arrays {
+            if self.caches.is_empty() {
+                break;
+            }
+            let groups = self.caches[a as usize].collect_destage();
+            for group in groups {
+                self.issue_destage_group(a, group);
+            }
+            if self.parity_cached {
+                self.try_drain_spool(a);
+            }
+        }
+    }
+
+    pub(super) fn on_battery_restore(&mut self) {
+        let now = self.engine.now();
+        if let Some(f) = self.fault.as_mut() {
+            if f.battery_out {
+                f.battery_out = false;
+                f.battery_window_ns += now - f.battery_fail_at;
+            }
+        }
+    }
+
+    /// Whether the NVRAM battery is currently failed (write-through mode).
+    pub(super) fn battery_out(&self) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.battery_out)
+    }
+
+    pub(super) fn note_write_through(&mut self) {
+        if let Some(f) = self.fault.as_mut() {
+            f.writes_written_through += 1;
+        }
+    }
+}

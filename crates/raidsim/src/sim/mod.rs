@@ -5,12 +5,35 @@
 //! track buffers and (optionally) NV cache, exactly as in Section 3.2 —
 //! arrays interact only through the shared trace.
 //!
+//! ## Layers
+//!
+//! The core is five layers, one module each, with narrow interfaces:
+//!
+//! * **admission** ([`admission`], with `cached` as its NV-cache front-end)
+//!   — trace feed, track-buffer/array admission control, record → request
+//!   decomposition.
+//! * **planning** ([`planning`]) — one `OrgPlanner` per organization turns
+//!   logical addresses into per-disk operations (healthy and degraded),
+//!   backed by `mapping::OrgMap`. The only simulator code that knows which
+//!   organization is running.
+//! * **dispatch** ([`dispatch`]) — per-drive queues behind the
+//!   `diskmodel::DiskScheduler` seam (FCFS — the paper's discipline — by
+//!   default; SSTF and SCAN selectable), service start/completion, parity
+//!   synchronization (Section 3.3).
+//! * **faults** ([`faults`]) — failure injection, degraded operation,
+//!   online rebuild, battery failover.
+//! * **reporting** ([`reporting`]) — phase attribution, time series, event
+//!   log, [`SimReport`] assembly. Pure observation.
+//!
+//! This module keeps only what the layers share: the entity types, the
+//! simulator state, construction, and the event loop.
+//!
 //! ## Event flow
 //!
 //! Requests arrive at trace-specified times and are decomposed by the
-//! organization's [`OrgMap`] into per-disk operations. Disks are FIFO
-//! servers with three service bands (parity-priority / normal /
-//! background); when an operation starts service its media timing is fully
+//! organization's planner into per-disk operations. Disks serve three
+//! bands (parity-priority / normal / background) under the configured
+//! discipline; when an operation starts service its media timing is fully
 //! determined ([`diskmodel::Disk::plan`]), so read-completion times are known
 //! at dispatch and parity-update synchronization (Section 3.3) can be
 //! resolved with at most a few rescheduled completion events: a parity
@@ -18,21 +41,30 @@
 //! simply holds the disk for further full rotations, precisely the paper's
 //! behavior.
 
+mod admission;
 mod cached;
+mod dispatch;
+mod faults;
+mod planning;
+mod reporting;
 mod slab;
 
 use crate::config::{FaultConfig, Organization, SimConfig, SyncPolicy};
 use crate::mapping::{OrgMap, Run, StripeMode};
-use crate::report::{FaultReport, PhaseSample, PhaseWelfords, SimReport};
-use diskmodel::{rmw_write_complete, AccessKind, Band, Disk, OpQueue};
+use crate::report::{FaultReport, PhaseSample, PhaseWelfords, SchedulerReport, SimReport};
+use diskmodel::{
+    rmw_write_complete, AccessKind, Band, Discipline, Disk, DiskScheduler, SchedulerQueue,
+};
 use iochannel::{BufferPool, Channel, RetryPolicy};
 use nvcache::{NvCache, ParitySpool};
 use raidtp_stats::{DiskCounters, Histogram, TimeSeries, Welford};
 use simkit::{Engine, EventId, FaultEvent, FaultPlan, FaultRng, SimTime};
 use slab::Slab;
 use std::collections::VecDeque;
-use std::io::Write as _;
 use tracegen::{AccessType, Trace, TraceRecord};
+
+use faults::{FaultKind, FaultState};
+use planning::{OrgPlanner, Planner};
 
 /// What a disk operation is doing, which determines what happens when it
 /// completes.
@@ -200,90 +232,6 @@ struct DestageJob {
     remaining: u32,
 }
 
-/// An injected fault hitting the simulated hardware, resolved to engine
-/// coordinates (global disk index).
-#[derive(Clone, Copy, Debug)]
-enum FaultKind {
-    DiskFail { gdisk: u32 },
-    BatteryFail,
-    BatteryRestore,
-}
-
-/// Number of spare blocks reconstructed per rebuild batch. One batch is one
-/// background write to the spare fed by peer reads; small enough that
-/// foreground traffic interleaves between batches, large enough that the
-/// sweep is not all seeks.
-const REBUILD_BATCH_BLOCKS: u64 = 64;
-
-/// Runtime state of the fault-injection engine, present iff
-/// [`SimConfig::fault`] is set. Owns the injected-event plan, the per-disk
-/// transient-error streams, the failure/rebuild timeline, and every counter
-/// reported in [`FaultReport`].
-struct FaultState {
-    fcfg: FaultConfig,
-    plan: FaultPlan,
-    /// One independent error stream per physical disk, split off the fault
-    /// seed, so one disk's draw sequence never depends on another's op
-    /// count.
-    rngs: Vec<FaultRng>,
-    // Disk-failure / rebuild timeline.
-    failed_at: Option<SimTime>,
-    healthy_at: Option<SimTime>,
-    rebuild_started: Option<SimTime>,
-    rebuild_done: Option<SimTime>,
-    rebuild_active: bool,
-    /// Next spare block to reconstruct.
-    rebuild_cursor: u64,
-    /// When the in-flight rebuild batch was dispatched (rate throttling).
-    step_started: SimTime,
-    rebuild_blocks: u64,
-    // NVRAM battery.
-    battery_out: bool,
-    battery_fail_at: SimTime,
-    battery_window_ns: u64,
-    writes_written_through: u64,
-    // Error/recovery counters.
-    transient_errors: u64,
-    retries: u64,
-    escalations: u64,
-    ops_aborted: u64,
-    ops_replayed: u64,
-    // Response split by the array state the request arrived under.
-    resp_healthy: Welford,
-    resp_degraded: Welford,
-    resp_rebuilding: Welford,
-}
-
-impl FaultState {
-    fn new(fcfg: FaultConfig, plan: FaultPlan, rngs: Vec<FaultRng>) -> FaultState {
-        FaultState {
-            fcfg,
-            plan,
-            rngs,
-            failed_at: None,
-            healthy_at: None,
-            rebuild_started: None,
-            rebuild_done: None,
-            rebuild_active: false,
-            rebuild_cursor: 0,
-            step_started: SimTime::ZERO,
-            rebuild_blocks: 0,
-            battery_out: false,
-            battery_fail_at: SimTime::ZERO,
-            battery_window_ns: 0,
-            writes_written_through: 0,
-            transient_errors: 0,
-            retries: 0,
-            escalations: 0,
-            ops_aborted: 0,
-            ops_replayed: 0,
-            resp_healthy: Welford::new(),
-            resp_degraded: Welford::new(),
-            resp_rebuilding: Welford::new(),
-        }
-    }
-}
-
 #[derive(Debug)]
 enum Ev {
     /// Process the next trace record.
@@ -323,12 +271,12 @@ pub struct RunStats {
 pub struct Simulator<'t> {
     cfg: SimConfig,
     trace: &'t Trace,
-    map: OrgMap,
+    planner: Planner,
     engine: Engine<Ev>,
 
     // Per physical disk (global index = array·disks_per_array + local).
     disks: Vec<Disk>,
-    queues: Vec<OpQueue<u32>>,
+    queues: Vec<SchedulerQueue>,
     in_service: Vec<Option<u32>>,
     /// Completion event of the op in service, cancellable on disk failure.
     service_ev: Vec<Option<EventId>>,
@@ -382,6 +330,12 @@ pub struct Simulator<'t> {
     bg_busy_cum: Vec<u64>,
     bg_until: Vec<SimTime>,
 
+    // Dispatch-layer statistics (collected unconditionally — pure
+    // observation; attached to the report only off the FCFS default or on
+    // `observability.scheduler_stats`).
+    sched_seek_cyl: Welford,
+    sched_qdepth: [Welford; 3],
+
     // Observability (never affects timing).
     sample_period_ns: u64,
     last_sample_ns: u64,
@@ -425,8 +379,8 @@ impl<'t> Simulator<'t> {
             return Err("trace addresses exceed the physical disk size".into());
         }
         let arrays = cfg.arrays_for(trace.n_disks);
-        let map = OrgMap::new(cfg.organization, n, bpd);
-        let dpa = map.disks_per_array();
+        let planner = Planner::new(cfg.organization, n, bpd);
+        let dpa = planner.disks_per_array();
         let total_disks = (arrays * dpa) as usize;
 
         // Un-synchronized spindles: deterministic pseudo-random phases from
@@ -449,8 +403,7 @@ impl<'t> Simulator<'t> {
             Some(blocks) => (0..arrays).map(|_| NvCache::new(blocks)).collect(),
             None => Vec::new(),
         };
-        let parity_cached =
-            cfg.cache.is_some() && matches!(cfg.organization, Organization::Raid4 { .. });
+        let parity_cached = planner.caches_parity(cfg.cache.is_some());
         let spools = if parity_cached {
             (0..arrays).map(|_| ParitySpool::new()).collect()
         } else {
@@ -527,7 +480,9 @@ impl<'t> Simulator<'t> {
         Ok(Simulator {
             engine: Engine::with_capacity(ev_cap),
             disks,
-            queues: (0..total_disks).map(|_| OpQueue::new()).collect(),
+            queues: (0..total_disks)
+                .map(|_| SchedulerQueue::new(cfg.scheduler))
+                .collect(),
             in_service: vec![None; total_disks],
             service_ev: vec![None; total_disks],
             channels: (0..arrays)
@@ -571,23 +526,18 @@ impl<'t> Simulator<'t> {
             req_serial: 0,
             bg_busy_cum: vec![0; total_disks],
             bg_until: vec![SimTime::ZERO; total_disks],
+            sched_seek_cyl: Welford::new(),
+            sched_qdepth: [Welford::new(); 3],
             sample_period_ns,
             last_sample_ns: 0,
             prev_disk_busy: vec![0; total_disks],
             prev_chan_busy: vec![0; arrays as usize],
             ts,
             event_log,
-            map,
+            planner,
             cfg,
             trace,
         })
-    }
-
-    /// Append one pre-formatted line to the JSONL event log, if enabled.
-    fn write_log(&mut self, line: &str) {
-        if let Some(w) = self.event_log.as_mut() {
-            let _ = writeln!(w, "{line}");
-        }
     }
 
     /// Run to completion and produce the report.
@@ -642,6 +592,7 @@ impl<'t> Simulator<'t> {
         debug_assert_eq!(self.jobs.len(), 0, "parity jobs leaked");
         debug_assert_eq!(self.dgroups.len(), 0, "destage jobs leaked");
         if let Some(w) = self.event_log.as_mut() {
+            use std::io::Write as _;
             let _ = w.flush();
         }
         let stats = RunStats {
@@ -674,1424 +625,6 @@ impl<'t> Simulator<'t> {
             },
             Ev::RebuildStep => self.on_rebuild_step(),
             Ev::Sample => self.on_sample(),
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // arrivals and request setup
-    // ------------------------------------------------------------------
-
-    fn on_arrive(&mut self) {
-        let idx = self.next_arrival;
-        self.next_arrival += 1;
-        if let Some(next) = self.trace.records.get(self.next_arrival) {
-            self.engine.schedule_at(next.at, Ev::Arrive);
-        }
-        let rec = self.trace.records[idx];
-        let array = rec.disk / self.n;
-
-        if self.cfg.cache.is_none() {
-            // Track-buffer admission control (non-cached controllers stage
-            // all data through the buffer pool).
-            let needed = rec.nblocks.min(self.buffers[array as usize].capacity());
-            if !self.buffers[array as usize].try_acquire(needed) {
-                self.buffer_waits += 1;
-                self.admission_wait[array as usize].push_back((idx, needed));
-                return;
-            }
-            self.process_record(&rec, needed);
-        } else {
-            self.process_record(&rec, 0);
-        }
-    }
-
-    fn process_record(&mut self, rec: &TraceRecord, buffers_held: u32) {
-        let array = rec.disk / self.n;
-        let ldisk = rec.disk % self.n;
-        let laddr = (ldisk as u64 * self.bpd + rec.block) % self.map.logical_capacity();
-        let now = self.engine.now();
-        let serial = self.req_serial;
-        self.req_serial += 1;
-        let window = match self.failed_in(array) {
-            None => 0,
-            Some(_) if self.fault.as_ref().is_some_and(|f| f.rebuild_active) => 2,
-            Some(_) => 1,
-        };
-        let req = self.reqs.insert(Request {
-            arrive: rec.at,
-            is_read: rec.kind == AccessType::Read,
-            array,
-            pending: 0,
-            finish: rec.at,
-            buffers_held,
-            tail_channel_bytes: 0,
-            serial,
-            admit: now,
-            stage_end: now,
-            phase: PhaseSample::default(),
-            window,
-        });
-        self.inflight += 1;
-        if self.event_log.is_some() {
-            let line = format!(
-                "{{\"t\":{},\"ev\":\"arrive\",\"req\":{},\"read\":{},\"arrive_ns\":{},\"disk\":{},\"block\":{},\"nblocks\":{}}}",
-                now.as_ns(),
-                serial,
-                rec.kind == AccessType::Read,
-                rec.at.as_ns(),
-                rec.disk,
-                rec.block,
-                rec.nblocks
-            );
-            self.write_log(&line);
-        }
-
-        if self.cfg.cache.is_some() {
-            match rec.kind {
-                AccessType::Read => self.cached_read(req, rec, array, laddr),
-                AccessType::Write => self.cached_write(req, rec, array, laddr),
-            }
-        } else {
-            match rec.kind {
-                AccessType::Read => self.noncached_read(req, array, laddr, rec.nblocks),
-                AccessType::Write => self.noncached_write(req, array, laddr, rec.nblocks),
-            }
-        }
-        // A request with no pending parts (e.g. a pure cache hit) finishes
-        // immediately.
-        if self.reqs.get(req).pending == 0 {
-            self.finalize_request(req);
-        }
-    }
-
-    fn noncached_read(&mut self, req: u32, array: u32, laddr: u64, n: u32) {
-        if let Some(f) = self.failed_in(array) {
-            let degraded = self.map.degraded_read_runs(laddr, n, f);
-            for run in degraded.direct {
-                let run = self.choose_replica(array, run);
-                self.read_op(req, array, run, OpRole::HostRead);
-            }
-            if !degraded.reconstruct.is_empty() {
-                // The rebuilt blocks go to the host once every peer read
-                // lands.
-                self.reqs.get_mut(req).tail_channel_bytes = n as u64 * self.block_bytes;
-                for run in degraded.reconstruct {
-                    self.read_op(req, array, run, OpRole::ReconstructRead);
-                }
-            }
-            return;
-        }
-        for run in self.map.read_runs(laddr, n) {
-            let run = self.choose_replica(array, run);
-            self.read_op(req, array, run, OpRole::HostRead);
-        }
-    }
-
-    /// Enqueue a normal-band read on behalf of a request.
-    fn read_op(&mut self, req: u32, array: u32, run: Run, role: OpRole) {
-        let t = self.new_op(DiskOp {
-            role,
-            req: Some(req),
-            job: None,
-            dgroup: None,
-            gdisk: self.gdisk(array, run.disk),
-            block: run.block,
-            nblocks: run.nblocks,
-            kind: AccessKind::Read,
-            band: Band::Normal,
-            feeds: false,
-            read_end: SimTime::ZERO,
-            transfer_ns: 0,
-            attempts: 0,
-            marks: OpMarks::default(),
-        });
-        self.reqs.get_mut(req).pending += 1;
-        self.enqueue_op(t);
-    }
-
-    fn noncached_write(&mut self, req: u32, array: u32, laddr: u64, n: u32) {
-        // Write data crosses the channel into the track buffers first; disk
-        // operations are released when the staging transfer completes.
-        let now = self.engine.now();
-        let tr = self.channels[array as usize].request(now, n as u64 * self.block_bytes);
-        self.reqs.get_mut(req).stage_end = tr.end;
-        let immediate = self.build_write_ops(WriteOps {
-            req: Some(req),
-            array,
-            laddr,
-            n,
-            band: Band::Normal,
-            data_role: OpRole::HostWrite,
-            old_known: false,
-            spool: false,
-        });
-        self.note_channel_finish(req, tr.end);
-        self.engine.schedule_at(tr.end, Ev::Issue(immediate.into()));
-    }
-
-    /// A channel transfer directly bounds the request's completion (cache
-    /// hits, write staging): account it as a candidate critical path whose
-    /// time beyond admission is all channel.
-    pub(super) fn note_channel_finish(&mut self, req: u32, end: SimTime) {
-        let r = self.reqs.get_mut(req);
-        if end >= r.finish {
-            r.finish = end;
-            r.phase = PhaseSample {
-                admission_ns: r.admit - r.arrive,
-                channel_ns: end - r.admit,
-                ..PhaseSample::default()
-            };
-        }
-    }
-
-    /// Create the disk ops (and parity jobs) for a write of
-    /// `[laddr, laddr+n)` under the organization's (possibly degraded)
-    /// plan; returns the immediately issuable tokens — parity ops gated by
-    /// a synchronization rule are issued later by their job.
-    pub(super) fn build_write_ops(&mut self, w: WriteOps) -> Vec<u32> {
-        let WriteOps {
-            req,
-            array,
-            laddr,
-            n,
-            band,
-            data_role,
-            old_known,
-            spool,
-        } = w;
-        let plan = self.plan_write(array, laddr, n);
-        let parity_band = if band == Band::Normal && self.cfg.sync.has_priority() {
-            Band::Priority
-        } else {
-            band
-        };
-        let mut immediate = Vec::new();
-        for stripe in plan.stripes {
-            if spool && !stripe.parity.is_empty() {
-                // RAID4 parity caching: buffer the update instead of
-                // touching the parity disk. Full-stripe and reconstruct
-                // writes hold real parity; RMW deltas still need the
-                // old-parity pre-read at drain time.
-                let full = stripe.mode != StripeMode::Rmw;
-                for p in &stripe.parity {
-                    for b in 0..p.nblocks as u64 {
-                        self.spool_parity(array, p.block + b, full, req);
-                    }
-                }
-            }
-            match stripe.mode {
-                StripeMode::Full => {
-                    for r in &stripe.data {
-                        let t =
-                            self.data_op(req, array, r, data_role, AccessKind::Write, band, None);
-                        immediate.push(t);
-                    }
-                    if !spool {
-                        for p in &stripe.parity {
-                            let t = self.data_op(
-                                req,
-                                array,
-                                p,
-                                OpRole::ParityWrite,
-                                AccessKind::Write,
-                                parity_band,
-                                None,
-                            );
-                            immediate.push(t);
-                        }
-                    }
-                }
-                StripeMode::Reconstruct => {
-                    // Parity is recomputed from the surviving reads; when it
-                    // is spooled (RAID4) or absent (degraded parity disk),
-                    // the helper reads serve no one and are skipped.
-                    let job = (!spool && !stripe.parity.is_empty()).then(|| {
-                        self.jobs.insert(ParityJob {
-                            data_not_started: stripe.extra_reads.len() as u32,
-                            ready: SimTime::ZERO,
-                            pending_parity: Vec::new(),
-                            rule: EnqueueRule::AtReady,
-                            refs: (stripe.extra_reads.len() + stripe.parity.len()) as u32,
-                        })
-                    });
-                    if let Some(job) = job {
-                        for p in &stripe.parity {
-                            let t = self.data_op(
-                                req,
-                                array,
-                                p,
-                                OpRole::ParityWrite,
-                                AccessKind::Write,
-                                parity_band,
-                                Some(job),
-                            );
-                            self.jobs.get_mut(job).pending_parity.push(t);
-                        }
-                        if stripe.extra_reads.is_empty() {
-                            // Parity computable from new data alone.
-                            let pending =
-                                std::mem::take(&mut self.jobs.get_mut(job).pending_parity);
-                            immediate.extend(pending);
-                        }
-                        for r in &stripe.extra_reads {
-                            let t = self.extra_read_op(array, r, job, band);
-                            immediate.push(t);
-                        }
-                    }
-                    for r in &stripe.data {
-                        let t =
-                            self.data_op(req, array, r, data_role, AccessKind::Write, band, None);
-                        immediate.push(t);
-                    }
-                }
-                StripeMode::Rmw => {
-                    let rule = match self.cfg.sync {
-                        SyncPolicy::SimultaneousIssue => EnqueueRule::AlreadyIssued,
-                        SyncPolicy::ReadFirst | SyncPolicy::ReadFirstPriority => {
-                            EnqueueRule::AtReady
-                        }
-                        SyncPolicy::DiskFirst | SyncPolicy::DiskFirstPriority => {
-                            EnqueueRule::AtAllStarted
-                        }
-                    };
-                    // With the old data cached (writeback of a block whose
-                    // old copy was retained) the parity delta is computable
-                    // up front: data goes out as a plain write and the
-                    // parity RMW needs no feeder. A spooled parity still
-                    // wants the pre-read when the old data is unknown, to
-                    // form the delta, but nothing waits on it.
-                    let pre_read = !stripe.parity.is_empty() && !old_known;
-                    let data_kind = if pre_read {
-                        AccessKind::RmwData
-                    } else {
-                        AccessKind::Write
-                    };
-                    let needs_job = !spool && pre_read;
-                    let job = needs_job.then(|| {
-                        self.jobs.insert(ParityJob {
-                            data_not_started: stripe.data.len() as u32,
-                            ready: SimTime::ZERO,
-                            pending_parity: Vec::new(),
-                            rule,
-                            refs: (stripe.data.len() + stripe.parity.len()) as u32,
-                        })
-                    });
-                    for r in &stripe.data {
-                        let role = if job.is_some() {
-                            OpRole::RmwData
-                        } else {
-                            data_role
-                        };
-                        let t = self.data_op(req, array, r, role, data_kind, band, job);
-                        immediate.push(t);
-                    }
-                    if spool {
-                        continue;
-                    }
-                    for p in &stripe.parity {
-                        let t = self.data_op(
-                            req,
-                            array,
-                            p,
-                            OpRole::ParityRmw,
-                            AccessKind::RmwParityRead,
-                            parity_band,
-                            job,
-                        );
-                        match job {
-                            None => immediate.push(t), // ready immediately
-                            Some(j) => {
-                                if rule == EnqueueRule::AlreadyIssued {
-                                    immediate.push(t);
-                                } else {
-                                    self.jobs.get_mut(j).pending_parity.push(t);
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        immediate
-    }
-
-    #[allow(clippy::too_many_arguments)] // a plain op builder; a params struct would add noise
-    fn data_op(
-        &mut self,
-        req: Option<u32>,
-        array: u32,
-        run: &Run,
-        role: OpRole,
-        kind: AccessKind,
-        band: Band,
-        job: Option<u32>,
-    ) -> u32 {
-        if let Some(q) = req {
-            self.reqs.get_mut(q).pending += 1;
-        }
-        self.new_op(DiskOp {
-            role,
-            req,
-            job,
-            dgroup: None,
-            gdisk: self.gdisk(array, run.disk),
-            block: run.block,
-            nblocks: run.nblocks,
-            kind,
-            band,
-            feeds: kind == AccessKind::RmwData && job.is_some(),
-            read_end: SimTime::ZERO,
-            transfer_ns: 0,
-            attempts: 0,
-            marks: OpMarks::default(),
-        })
-    }
-
-    /// Reconstruct helper read: feeds its parity job and never counts
-    /// toward the request (the parity write it feeds always finishes
-    /// later).
-    fn extra_read_op(&mut self, array: u32, run: &Run, job: u32, band: Band) -> u32 {
-        self.new_op(DiskOp {
-            role: OpRole::ExtraRead,
-            req: None,
-            job: Some(job),
-            dgroup: None,
-            gdisk: self.gdisk(array, run.disk),
-            block: run.block,
-            nblocks: run.nblocks,
-            kind: AccessKind::Read,
-            band,
-            feeds: true,
-            read_end: SimTime::ZERO,
-            transfer_ns: 0,
-            attempts: 0,
-            marks: OpMarks::default(),
-        })
-    }
-
-    // ------------------------------------------------------------------
-    // disk machinery
-    // ------------------------------------------------------------------
-
-    #[inline]
-    fn gdisk(&self, array: u32, disk_in_array: u32) -> u32 {
-        array * self.dpa + disk_in_array
-    }
-
-    /// The failed disk's index within `array`, if the failure is in it.
-    #[inline]
-    pub(super) fn failed_in(&self, array: u32) -> Option<u32> {
-        self.failed_gdisk
-            .filter(|&g| g / self.dpa == array)
-            .map(|g| g % self.dpa)
-    }
-
-    /// The organization-appropriate write plan, accounting for a failed
-    /// disk in this array.
-    pub(super) fn plan_write(&self, array: u32, laddr: u64, n: u32) -> crate::mapping::WritePlan {
-        match self.failed_in(array) {
-            Some(f) => self.map.degraded_write_plan(laddr, n, f),
-            None => self.map.write_plan(laddr, n),
-        }
-    }
-
-    fn new_op(&mut self, op: DiskOp) -> u32 {
-        self.ops.insert(op)
-    }
-
-    /// For mirrors, send a read to the pair member with the shorter queue,
-    /// breaking ties by arm distance ("shortest seek optimization") then
-    /// disk id.
-    fn choose_replica(&self, array: u32, run: Run) -> Run {
-        let Some(alt) = self.map.mirror_of(run) else {
-            return run;
-        };
-        // A failed pair member is never selected.
-        if self.failed_in(array) == Some(run.disk) {
-            return alt;
-        }
-        if self.failed_in(array) == Some(alt.disk) {
-            return run;
-        }
-        let load = |r: &Run| {
-            let g = self.gdisk(array, r.disk) as usize;
-            (
-                self.queues[g].foreground_len() + self.in_service[g].is_some() as usize,
-                self.disks[g].arm_distance(r.block),
-                r.disk,
-            )
-        };
-        if load(&alt) < load(&run) {
-            alt
-        } else {
-            run
-        }
-    }
-
-    fn enqueue_op(&mut self, token: u32) {
-        let now = self.engine.now();
-        let (gdisk, band, role) = {
-            let op = self.ops.get(token);
-            (op.gdisk, op.band, op.role)
-        };
-        let g = gdisk as usize;
-        // Background-busy snapshot, credited with the *remaining* time of a
-        // background op currently in service so the interference window
-        // counts only overlap with [enqueue, start].
-        let snap = self.bg_busy_cum[g] - self.bg_until[g].saturating_since(now);
-        {
-            let op = self.ops.get_mut(token);
-            op.marks.enqueue = now;
-            op.marks.bg_snap = snap;
-        }
-        // A disk that failed after this op was planned cannot serve it:
-        // abort and (for reads of lost data) re-plan through the degraded
-        // path. This catches stragglers staged before the failure — boxed
-        // Issue events, gated parity ops, delayed retries. Rebuild writes
-        // are exempt: they target the hot spare occupying the failed slot.
-        if self.failed_gdisk == Some(gdisk) && role != OpRole::RebuildWrite {
-            self.abort_op(token, false);
-            return;
-        }
-        self.queues[g].push(band, token);
-        self.try_start(gdisk);
-    }
-
-    fn try_start(&mut self, gdisk: u32) {
-        if self.in_service[gdisk as usize].is_some() {
-            return;
-        }
-        let Some((_, token)) = self.queues[gdisk as usize].pop() else {
-            return;
-        };
-        self.start_op(gdisk, token);
-    }
-
-    fn start_op(&mut self, gdisk: u32, token: u32) {
-        let now = self.engine.now();
-        let (block, nblocks, kind, job, feeds, band, role) = {
-            let op = self.ops.get(token);
-            (
-                op.block, op.nblocks, op.kind, op.job, op.feeds, op.band, op.role,
-            )
-        };
-        let timing = self.disks[gdisk as usize].plan(now, block, nblocks, kind);
-        self.disk_counts.add(gdisk as usize, 1);
-        self.disk_ops += 1;
-        {
-            let op = self.ops.get_mut(token);
-            op.read_end = timing.read_end;
-            op.transfer_ns = timing.transfer_ns;
-            op.marks.start = now;
-            op.marks.seek_ns = timing.seek_ns;
-            op.marks.latency_ns = timing.latency_ns;
-        }
-        if self.event_log.is_some() {
-            let line = format!(
-                "{{\"t\":{},\"ev\":\"dispatch\",\"disk\":{},\"role\":\"{:?}\",\"band\":\"{:?}\",\"block\":{},\"nblocks\":{},\"seek_ns\":{},\"rotation_ns\":{},\"transfer_ns\":{}}}",
-                now.as_ns(),
-                gdisk,
-                role,
-                band,
-                block,
-                nblocks,
-                timing.seek_ns,
-                timing.latency_ns,
-                timing.transfer_ns
-            );
-            self.write_log(&line);
-        }
-
-        // Feeder ops report their read-completion to the parity job the
-        // moment service starts (the timing is deterministic from here).
-        if feeds {
-            if let Some(j) = job {
-                self.feed_job(j, timing.read_end);
-            }
-        }
-
-        // Parity RMW ops whose readiness is already known can commit their
-        // final completion outright.
-        let complete = if kind == AccessKind::RmwParityRead {
-            match job {
-                Some(j) if self.jobs.get(j).data_not_started > 0 => timing.complete,
-                Some(j) => rmw_write_complete(
-                    timing.read_end,
-                    timing.transfer_ns,
-                    self.rot_ns,
-                    self.jobs.get(j).ready,
-                ),
-                None => timing.complete, // ready immediately: read_end + rot
-            }
-        } else {
-            timing.complete
-        };
-        self.disks[gdisk as usize].commit(&timing, complete);
-        if band == Band::Background {
-            // Destage/spool work holds the disk for [now, complete); host
-            // ops queued behind it attribute that overlap to interference.
-            self.bg_busy_cum[gdisk as usize] += complete - now;
-            self.bg_until[gdisk as usize] = complete;
-        }
-        self.in_service[gdisk as usize] = Some(token);
-        let ev = self
-            .engine
-            .schedule_at(complete, Ev::DiskDone { gdisk, op: token });
-        self.service_ev[gdisk as usize] = Some(ev);
-    }
-
-    /// A feeder (data RMW / reconstruct read) started service: update the
-    /// job's ready time and release parity ops per the synchronization rule.
-    fn feed_job(&mut self, job: u32, read_end: SimTime) {
-        let (became_ready, rule, ready) = {
-            let j = self.jobs.get_mut(job);
-            j.ready = j.ready.max(read_end);
-            j.data_not_started -= 1;
-            j.refs -= 1;
-            (j.data_not_started == 0, j.rule, j.ready)
-        };
-        if became_ready {
-            match rule {
-                EnqueueRule::AlreadyIssued => {}
-                EnqueueRule::AtReady => {
-                    if !self.jobs.get(job).pending_parity.is_empty() {
-                        self.engine.schedule_at(ready, Ev::EnqueueParity(job));
-                    }
-                }
-                EnqueueRule::AtAllStarted => {
-                    let pending = std::mem::take(&mut self.jobs.get_mut(job).pending_parity);
-                    for t in pending {
-                        self.enqueue_op(t);
-                    }
-                }
-            }
-        }
-        self.maybe_free_job(job);
-    }
-
-    fn maybe_free_job(&mut self, job: u32) {
-        if self.jobs.get(job).refs == 0 {
-            debug_assert!(self.jobs.get(job).pending_parity.is_empty());
-            self.jobs.remove(job);
-        }
-    }
-
-    fn on_disk_done(&mut self, gdisk: u32, token: u32) {
-        let now = self.engine.now();
-        // Parity RMWs may need to hold the disk for more rotations if the
-        // new parity was not ready when the head came back (Section 3.3).
-        if self.ops.get(token).kind == AccessKind::RmwParityRead {
-            let (read_end, transfer_ns, job) = {
-                let op = self.ops.get(token);
-                (op.read_end, op.transfer_ns, op.job)
-            };
-            let hold_until = match job {
-                Some(j) if self.jobs.get(j).data_not_started > 0 => Some(now + self.rot_ns),
-                Some(j) => {
-                    let actual = rmw_write_complete(
-                        read_end,
-                        transfer_ns,
-                        self.rot_ns,
-                        self.jobs.get(j).ready,
-                    );
-                    (actual > now).then_some(actual)
-                }
-                None => None,
-            };
-            if let Some(until) = hold_until {
-                self.disks[gdisk as usize].extend_busy(until);
-                if self.ops.get(token).band == Band::Background {
-                    self.bg_busy_cum[gdisk as usize] += until - now;
-                    self.bg_until[gdisk as usize] = until;
-                }
-                let ev = self
-                    .engine
-                    .schedule_at(until, Ev::DiskDone { gdisk, op: token });
-                self.service_ev[gdisk as usize] = Some(ev);
-                return;
-            }
-        }
-
-        // Transient media errors: the completed service may turn out to have
-        // failed. The controller re-drives the op after an exponential
-        // backoff; when the retry budget runs out the error escalates to a
-        // permanent disk failure (survivable only with redundancy). Feeder
-        // ops are exempt — they reported their read-completion to the parity
-        // job at dispatch and cannot be un-fed.
-        let transient_p = self
-            .fault
-            .as_ref()
-            .map_or(0.0, |f| f.fcfg.transient_error_prob);
-        if transient_p > 0.0 && !self.ops.get(token).feeds {
-            let erred = self
-                .fault
-                .as_mut()
-                .is_some_and(|f| f.rngs[gdisk as usize].chance(transient_p));
-            if erred {
-                let attempts = {
-                    let op = self.ops.get_mut(token);
-                    op.attempts += 1;
-                    op.attempts
-                };
-                let policy = self.fault.as_ref().map_or(RetryPolicy::new(0, 0), |f| {
-                    RetryPolicy::new(f.fcfg.retry_backoff_us * 1_000, f.fcfg.max_retries)
-                });
-                if let Some(f) = self.fault.as_mut() {
-                    f.transient_errors += 1;
-                }
-                if policy.retries_left(attempts) {
-                    if let Some(f) = self.fault.as_mut() {
-                        f.retries += 1;
-                    }
-                    self.in_service[gdisk as usize] = None;
-                    self.service_ev[gdisk as usize] = None;
-                    self.try_start(gdisk);
-                    self.engine
-                        .schedule_after(policy.backoff_ns(attempts), Ev::Issue([token].into()));
-                    return;
-                }
-                if !matches!(self.cfg.organization, Organization::Base)
-                    && self.failed_gdisk.is_none()
-                {
-                    if let Some(f) = self.fault.as_mut() {
-                        f.escalations += 1;
-                    }
-                    self.service_ev[gdisk as usize] = None;
-                    self.on_disk_fail(gdisk);
-                    return;
-                }
-                // No redundancy left to escalate into: deliver the data
-                // anyway so the run can complete (heroic recovery).
-            }
-        }
-
-        let op = self.ops.remove(token);
-        self.in_service[gdisk as usize] = None;
-        self.service_ev[gdisk as usize] = None;
-        if self.event_log.is_some() {
-            let line = format!(
-                "{{\"t\":{},\"ev\":\"complete\",\"disk\":{},\"role\":\"{:?}\",\"block\":{},\"nblocks\":{}}}",
-                now.as_ns(),
-                gdisk,
-                op.role,
-                op.block,
-                op.nblocks
-            );
-            self.write_log(&line);
-        }
-
-        match op.role {
-            OpRole::HostRead => {
-                // Disk → track buffer done; now the channel transfer to the
-                // host.
-                let tr = self.channels[(gdisk / self.dpa) as usize]
-                    .request(now, op.nblocks as u64 * self.block_bytes);
-                let phase = self.op_phase(&op, now, tr.end);
-                self.request_part_done(op.req_id(), tr.end, phase);
-            }
-            OpRole::HostWrite | OpRole::RmwData => {
-                let phase = self.op_phase(&op, now, now);
-                self.request_part_done(op.req_id(), now, phase);
-            }
-            OpRole::ParityRmw | OpRole::ParityWrite => {
-                if let Some(req) = op.req {
-                    let phase = self.op_phase(&op, now, now);
-                    self.request_part_done(req, now, phase);
-                }
-                if let Some(j) = op.job {
-                    self.jobs.get_mut(j).refs -= 1;
-                    self.maybe_free_job(j);
-                }
-            }
-            OpRole::ExtraRead => {
-                if let Some(req) = op.req {
-                    let phase = self.op_phase(&op, now, now);
-                    self.request_part_done(req, now, phase);
-                }
-                // Job bookkeeping happened at start.
-            }
-            OpRole::CacheFetch | OpRole::ReconstructRead => {
-                let phase = self.op_phase(&op, now, now);
-                self.request_part_done(op.req_id(), now, phase);
-            }
-            OpRole::Writeback => {
-                if let Some(req) = op.req {
-                    let phase = self.op_phase(&op, now, now);
-                    self.request_part_done(req, now, phase);
-                }
-            }
-            OpRole::DestageData => {
-                // simlint::allow(panic-policy): destage ops are created from a destage group; absence is a cache-scheduler bug worth a loud stop
-                let dg = op.dgroup.expect("destage op lost its group");
-                self.dgroups.get_mut(dg).remaining -= 1;
-                if self.dgroups.get(dg).remaining == 0 {
-                    let dj = self.dgroups.remove(dg);
-                    let array = (gdisk / self.dpa) as usize;
-                    self.caches[array].destage_complete(&dj.group);
-                }
-            }
-            OpRole::DestageParity => {
-                if let Some(j) = op.job {
-                    self.jobs.get_mut(j).refs -= 1;
-                    self.maybe_free_job(j);
-                }
-            }
-            OpRole::SpoolDrain => {
-                let array = (gdisk / self.dpa) as usize;
-                self.caches[array].release_slots(op.nblocks as usize);
-            }
-            OpRole::RebuildRead => {
-                // Fed its rebuild job at dispatch; nothing further.
-            }
-            OpRole::RebuildWrite => {
-                if let Some(j) = op.job {
-                    self.jobs.get_mut(j).refs -= 1;
-                    self.maybe_free_job(j);
-                }
-                self.on_rebuild_batch_done(&op);
-            }
-        }
-
-        self.try_start(gdisk);
-        if op.role == OpRole::SpoolDrain {
-            self.try_drain_spool(gdisk / self.dpa);
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // request completion
-    // ------------------------------------------------------------------
-
-    /// Decompose a finished disk op into request phases. `done` is when the
-    /// disk finished; `at` is when the request part completed (later than
-    /// `done` only for the post-read channel transfer). The eight components
-    /// telescope exactly: they sum to `at − arrive` in nanoseconds.
-    fn op_phase(&self, op: &DiskOp, done: SimTime, at: SimTime) -> PhaseSample {
-        let r = self.reqs.get(op.req_id());
-        let m = &op.marks;
-        let media = m.seek_ns + m.latency_ns + op.transfer_ns;
-        let service = done - m.start;
-        let queue_raw = m.start - m.enqueue;
-        // How much background (destage/spool) service overlapped this op's
-        // queue wait; the rest of the wait was behind foreground work.
-        let interference = (self.bg_busy_cum[op.gdisk as usize] - m.bg_snap).min(queue_raw);
-        PhaseSample {
-            admission_ns: r.admit - r.arrive,
-            channel_ns: (r.stage_end - r.admit) + (at - done),
-            disk_queue_ns: queue_raw - interference,
-            destage_interference_ns: interference,
-            seek_ns: m.seek_ns,
-            rotation_ns: m.latency_ns,
-            transfer_ns: op.transfer_ns,
-            // Sync wait before the op could even enqueue, plus any extra
-            // rotations the disk was held beyond the media time (RMW
-            // turnaround, Section 3.3).
-            parity_ns: (m.enqueue - r.stage_end) + (service - media),
-        }
-    }
-
-    fn request_part_done(&mut self, req: u32, at: SimTime, phase: PhaseSample) {
-        let r = self.reqs.get_mut(req);
-        // Keep the breakdown of the critical path: the part finishing last
-        // carries the request's phase decomposition.
-        if at >= r.finish {
-            r.finish = at;
-            r.phase = phase;
-        }
-        r.pending -= 1;
-        if r.pending == 0 {
-            self.finalize_request(req);
-        }
-    }
-
-    fn finalize_request(&mut self, req: u32) {
-        let mut r = self.reqs.remove(req);
-        if r.tail_channel_bytes > 0 {
-            let tr = self.channels[r.array as usize].request(r.finish, r.tail_channel_bytes);
-            r.phase.channel_ns += tr.end - r.finish;
-            r.finish = tr.end;
-        }
-        let total_ns = r.finish - r.arrive;
-        debug_assert_eq!(
-            r.phase.sum_ns(),
-            total_ns,
-            "phase components must sum exactly to the response time"
-        );
-        let ms = simkit::time::ns_to_ms(total_ns);
-        self.resp_all.push(ms);
-        self.hist.record(ms);
-        self.completed += 1;
-        if let Some(f) = self.fault.as_mut() {
-            match r.window {
-                0 => f.resp_healthy.push(ms),
-                1 => f.resp_degraded.push(ms),
-                _ => f.resp_rebuilding.push(ms),
-            }
-        }
-        if r.is_read {
-            self.resp_reads.push(ms);
-            self.completed_reads += 1;
-            self.phase_reads.push(&r.phase);
-        } else {
-            self.resp_writes.push(ms);
-            self.completed_writes += 1;
-            self.phase_writes.push(&r.phase);
-        }
-        self.inflight -= 1;
-        if self.event_log.is_some() {
-            let p = &r.phase;
-            let line = format!(
-                "{{\"t\":{},\"ev\":\"req_done\",\"req\":{},\"read\":{},\"resp_ns\":{},\"admission_ns\":{},\"channel_ns\":{},\"disk_queue_ns\":{},\"destage_interference_ns\":{},\"seek_ns\":{},\"rotation_ns\":{},\"transfer_ns\":{},\"parity_ns\":{}}}",
-                r.finish.as_ns(),
-                r.serial,
-                r.is_read,
-                total_ns,
-                p.admission_ns,
-                p.channel_ns,
-                p.disk_queue_ns,
-                p.destage_interference_ns,
-                p.seek_ns,
-                p.rotation_ns,
-                p.transfer_ns,
-                p.parity_ns
-            );
-            self.write_log(&line);
-        }
-
-        if r.buffers_held > 0 {
-            self.buffers[r.array as usize].release(r.buffers_held);
-            self.admit_waiters(r.array);
-        }
-    }
-
-    fn admit_waiters(&mut self, array: u32) {
-        while let Some(&(idx, needed)) = self.admission_wait[array as usize].front() {
-            if !self.buffers[array as usize].try_acquire(needed) {
-                break;
-            }
-            self.admission_wait[array as usize].pop_front();
-            let rec = self.trace.records[idx];
-            self.process_record(&rec, needed);
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // fault injection and recovery
-    // ------------------------------------------------------------------
-
-    /// A disk permanently fails (injected or escalated from exhausted
-    /// retries): every op queued on or in service at it is aborted and
-    /// re-planned through the degraded machinery; the array switches to
-    /// degraded planning; with a hot spare configured, the online rebuild
-    /// starts immediately.
-    fn on_disk_fail(&mut self, gdisk: u32) {
-        if self.failed_gdisk.is_some() {
-            return; // already degraded; config validation forbids a second
-        }
-        let now = self.engine.now();
-        self.failed_gdisk = Some(gdisk);
-        if let Some(f) = self.fault.as_mut() {
-            f.failed_at = Some(now);
-        }
-        if self.event_log.is_some() {
-            let line = format!(
-                "{{\"t\":{},\"ev\":\"disk_fail\",\"disk\":{}}}",
-                now.as_ns(),
-                gdisk
-            );
-            self.write_log(&line);
-        }
-        let g = gdisk as usize;
-        if let Some(ev) = self.service_ev[g].take() {
-            self.engine.cancel(ev);
-        }
-        let mut lost: Vec<(u32, bool)> = Vec::new();
-        if let Some(t) = self.in_service[g].take() {
-            lost.push((t, true));
-        }
-        while let Some((_, t)) = self.queues[g].pop() {
-            lost.push((t, false));
-        }
-        for (t, started) in lost {
-            self.abort_op(t, started);
-        }
-        // A failed RAID4 parity disk orphans the spool: nothing can drain
-        // it anymore, so give the reserved cache slots back.
-        if self.parity_cached && gdisk % self.dpa == self.n {
-            let a = (gdisk / self.dpa) as usize;
-            while let Some(run) = self.spools[a].pop_run(u32::MAX) {
-                self.caches[a].release_slots(run.nblocks as usize);
-            }
-        }
-        if self.fault.as_ref().is_some_and(|f| f.fcfg.spare) {
-            // The hot spare takes the failed slot with a fresh spindle.
-            let phase = spindle_phase(self.cfg.seed, (self.disks.len() + g) as u64, self.rot_ns);
-            self.disks[g] = Disk::new(self.cfg.geometry.clone(), self.cfg.seek, phase);
-            if let Some(f) = self.fault.as_mut() {
-                f.rebuild_started = Some(now);
-                f.rebuild_active = true;
-                f.rebuild_cursor = 0;
-            }
-            self.engine.schedule_now(Ev::RebuildStep);
-        }
-    }
-
-    /// Remove an op addressed to a failed disk, settle its bookkeeping, and
-    /// re-plan host-facing reads of lost data through the degraded path.
-    /// `started` marks an op that was in service: its feeder contribution,
-    /// if any, already happened at dispatch.
-    fn abort_op(&mut self, token: u32, started: bool) {
-        let now = self.engine.now();
-        let op = self.ops.remove(token);
-        if let Some(f) = self.fault.as_mut() {
-            f.ops_aborted += 1;
-        }
-        // A queued feeder never started: its parity job must not wait for a
-        // read that will never happen.
-        if op.feeds && !started {
-            if let Some(j) = op.job {
-                self.feed_job(j, now);
-            }
-        }
-        match op.role {
-            OpRole::HostRead | OpRole::CacheFetch | OpRole::ReconstructRead => {
-                self.replan_lost_read(&op, now);
-            }
-            OpRole::HostWrite | OpRole::RmwData => {
-                let phase = self.abort_phase(&op, now);
-                self.request_part_done(op.req_id(), now, phase);
-            }
-            OpRole::ParityRmw | OpRole::ParityWrite => {
-                if let Some(req) = op.req {
-                    let phase = self.abort_phase(&op, now);
-                    self.request_part_done(req, now, phase);
-                }
-                if let Some(j) = op.job {
-                    self.jobs.get_mut(j).refs -= 1;
-                    self.maybe_free_job(j);
-                }
-            }
-            OpRole::ExtraRead | OpRole::Writeback => {
-                if let Some(req) = op.req {
-                    let phase = self.abort_phase(&op, now);
-                    self.request_part_done(req, now, phase);
-                }
-            }
-            OpRole::DestageData => {
-                // simlint::allow(panic-policy): same invariant as completion — a destage op always carries its group
-                let dg = op.dgroup.expect("destage op lost its group");
-                self.dgroups.get_mut(dg).remaining -= 1;
-                if self.dgroups.get(dg).remaining == 0 {
-                    let dj = self.dgroups.remove(dg);
-                    let array = (op.gdisk / self.dpa) as usize;
-                    self.caches[array].destage_complete(&dj.group);
-                }
-            }
-            OpRole::DestageParity | OpRole::RebuildWrite => {
-                if let Some(j) = op.job {
-                    self.jobs.get_mut(j).refs -= 1;
-                    self.maybe_free_job(j);
-                }
-            }
-            OpRole::SpoolDrain => {
-                let array = (op.gdisk / self.dpa) as usize;
-                self.caches[array].release_slots(op.nblocks as usize);
-            }
-            OpRole::RebuildRead => {}
-        }
-    }
-
-    /// A host-facing read lost its target disk mid-flight. Mirror reads
-    /// redirect to the surviving copy; parity organizations read every
-    /// surviving peer of each lost block and XOR-reconstruct, routing the
-    /// rebuilt data through the request's tail channel transfer. With no
-    /// redundancy the part completes degenerately (there is nothing left to
-    /// read).
-    fn replan_lost_read(&mut self, op: &DiskOp, now: SimTime) {
-        let req = op.req_id();
-        let array = op.gdisk / self.dpa;
-        let local = op.gdisk % self.dpa;
-        let lost = Run {
-            disk: local,
-            block: op.block,
-            nblocks: op.nblocks,
-        };
-        let mut runs: Vec<Run> = Vec::new();
-        let mut reconstructed = false;
-        if let Some(alt) = self.map.mirror_of(lost) {
-            runs.push(alt);
-        } else {
-            for b in 0..op.nblocks as u64 {
-                for (disk, block) in self.map.peers_of(local, op.block + b) {
-                    crate::mapping::push_merged(&mut runs, disk, block);
-                }
-            }
-            reconstructed = !runs.is_empty();
-        }
-        if runs.is_empty() {
-            let phase = self.abort_phase(op, now);
-            self.request_part_done(req, now, phase);
-            return;
-        }
-        if reconstructed && op.role == OpRole::HostRead {
-            // Reconstructed data reaches the host via the tail transfer
-            // (cache fetches already route the whole reply through it).
-            self.reqs.get_mut(req).tail_channel_bytes += op.nblocks as u64 * self.block_bytes;
-        }
-        let role = match op.role {
-            OpRole::CacheFetch => OpRole::CacheFetch,
-            OpRole::HostRead if !reconstructed => OpRole::HostRead,
-            _ => OpRole::ReconstructRead,
-        };
-        if let Some(f) = self.fault.as_mut() {
-            f.ops_replayed += runs.len() as u64;
-        }
-        for run in runs {
-            let t = self.new_op(DiskOp {
-                role,
-                req: Some(req),
-                job: None,
-                dgroup: None,
-                gdisk: self.gdisk(array, run.disk),
-                block: run.block,
-                nblocks: run.nblocks,
-                kind: AccessKind::Read,
-                band: op.band,
-                feeds: false,
-                read_end: SimTime::ZERO,
-                transfer_ns: 0,
-                attempts: 0,
-                marks: OpMarks::default(),
-            });
-            self.reqs.get_mut(req).pending += 1;
-            self.enqueue_op(t);
-        }
-        // The aborted op's own share is replaced, not completed; pending
-        // stays positive because the replacements were counted first.
-        self.reqs.get_mut(req).pending -= 1;
-    }
-
-    /// Phase decomposition of an aborted part at abort time `now`: time
-    /// since enqueue is attributed to the disk queue (the op never reached
-    /// the media). Telescopes exactly to `now − arrive`.
-    fn abort_phase(&self, op: &DiskOp, now: SimTime) -> PhaseSample {
-        let r = self.reqs.get(op.req_id());
-        let m = &op.marks;
-        PhaseSample {
-            admission_ns: r.admit - r.arrive,
-            channel_ns: r.stage_end - r.admit,
-            parity_ns: m.enqueue - r.stage_end,
-            disk_queue_ns: now - m.enqueue,
-            ..PhaseSample::default()
-        }
-    }
-
-    /// Reconstruct the next batch of the failed disk's blocks: read every
-    /// surviving peer (background band), XOR, and write the result to the
-    /// spare. Batches self-perpetuate until the cursor covers the disk,
-    /// throttled to the configured rebuild rate so foreground traffic keeps
-    /// priority — the same interference channel as destaging.
-    fn on_rebuild_step(&mut self) {
-        let Some(gdisk) = self.failed_gdisk else {
-            return;
-        };
-        let now = self.engine.now();
-        let cursor = self.fault.as_ref().map_or(0, |f| f.rebuild_cursor);
-        if cursor >= self.bpd {
-            // Every block is rebuilt: the spare is a full member and the
-            // array returns to healthy-mode planning.
-            self.failed_gdisk = None;
-            if let Some(f) = self.fault.as_mut() {
-                f.rebuild_active = false;
-                f.rebuild_done = Some(now);
-                f.healthy_at = Some(now);
-            }
-            if self.event_log.is_some() {
-                let line = format!(
-                    "{{\"t\":{},\"ev\":\"rebuild_done\",\"disk\":{}}}",
-                    now.as_ns(),
-                    gdisk
-                );
-                self.write_log(&line);
-            }
-            return;
-        }
-        let batch = REBUILD_BATCH_BLOCKS.min(self.bpd - cursor) as u32;
-        if let Some(f) = self.fault.as_mut() {
-            f.rebuild_cursor += batch as u64;
-            f.step_started = now;
-        }
-        let array = gdisk / self.dpa;
-        let local = gdisk % self.dpa;
-        // Collect the peer blocks disk-major so `push_merged` coalesces
-        // each peer's contribution into one contiguous run per disk (it
-        // only merges against the last run pushed).
-        let mut pairs: Vec<(u32, u64)> = Vec::new();
-        for b in cursor..cursor + batch as u64 {
-            pairs.extend(self.map.peers_of(local, b));
-        }
-        pairs.sort_unstable();
-        let mut runs: Vec<Run> = Vec::new();
-        for (disk, block) in pairs {
-            crate::mapping::push_merged(&mut runs, disk, block);
-        }
-        let wt = self.new_op(DiskOp {
-            role: OpRole::RebuildWrite,
-            req: None,
-            job: None,
-            dgroup: None,
-            gdisk,
-            block: cursor,
-            nblocks: batch,
-            kind: AccessKind::Write,
-            band: Band::Background,
-            feeds: false,
-            read_end: SimTime::ZERO,
-            transfer_ns: 0,
-            attempts: 0,
-            marks: OpMarks::default(),
-        });
-        if runs.is_empty() {
-            // Unprotected blocks (e.g. the Parity Striping tail sliver):
-            // the spare is simply formatted through them.
-            self.enqueue_op(wt);
-            return;
-        }
-        let job = self.jobs.insert(ParityJob {
-            data_not_started: runs.len() as u32,
-            ready: SimTime::ZERO,
-            pending_parity: vec![wt],
-            rule: EnqueueRule::AtReady,
-            refs: runs.len() as u32 + 1,
-        });
-        self.ops.get_mut(wt).job = Some(job);
-        for run in runs {
-            let t = self.new_op(DiskOp {
-                role: OpRole::RebuildRead,
-                req: None,
-                job: Some(job),
-                dgroup: None,
-                gdisk: self.gdisk(array, run.disk),
-                block: run.block,
-                nblocks: run.nblocks,
-                kind: AccessKind::Read,
-                band: Band::Background,
-                feeds: true,
-                read_end: SimTime::ZERO,
-                transfer_ns: 0,
-                attempts: 0,
-                marks: OpMarks::default(),
-            });
-            self.enqueue_op(t);
-        }
-    }
-
-    /// A rebuild batch's spare write finished: count it and schedule the
-    /// next batch, no earlier than the rate throttle allows.
-    fn on_rebuild_batch_done(&mut self, op: &DiskOp) {
-        let now = self.engine.now();
-        let (rate, step_started) = match self.fault.as_mut() {
-            Some(f) => {
-                f.rebuild_blocks += op.nblocks as u64;
-                (f.fcfg.rebuild_rate_mbps, f.step_started)
-            }
-            None => return,
-        };
-        let batch_bytes = op.nblocks as u64 * self.block_bytes;
-        // rate MB/s ⇒ the batch may not complete faster than
-        // bytes·1000/rate nanoseconds after its dispatch.
-        // rate == 0 means unthrottled: the next batch may start now.
-        let next_at = match (batch_bytes * 1_000).checked_div(rate) {
-            None => now,
-            Some(d) => (step_started + d).max(now),
-        };
-        self.engine.schedule_at(next_at, Ev::RebuildStep);
-    }
-
-    /// NVRAM battery failure: cached contents are no longer safe across a
-    /// power loss, so the controller flushes everything dirty and serves
-    /// writes in write-through mode until the battery is restored.
-    fn on_battery_fail(&mut self) {
-        let now = self.engine.now();
-        match self.fault.as_mut() {
-            Some(f) if !f.battery_out => {
-                f.battery_out = true;
-                f.battery_fail_at = now;
-            }
-            _ => return,
-        }
-        for a in 0..self.arrays {
-            if self.caches.is_empty() {
-                break;
-            }
-            let groups = self.caches[a as usize].collect_destage();
-            for group in groups {
-                self.issue_destage_group(a, group);
-            }
-            if self.parity_cached {
-                self.try_drain_spool(a);
-            }
-        }
-    }
-
-    fn on_battery_restore(&mut self) {
-        let now = self.engine.now();
-        if let Some(f) = self.fault.as_mut() {
-            if f.battery_out {
-                f.battery_out = false;
-                f.battery_window_ns += now - f.battery_fail_at;
-            }
-        }
-    }
-
-    /// Whether the NVRAM battery is currently failed (write-through mode).
-    fn battery_out(&self) -> bool {
-        self.fault.as_ref().is_some_and(|f| f.battery_out)
-    }
-
-    fn note_write_through(&mut self) {
-        if let Some(f) = self.fault.as_mut() {
-            f.writes_written_through += 1;
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // report
-    // ------------------------------------------------------------------
-
-    fn report(&self) -> SimReport {
-        let elapsed_ns = self.engine.now().as_ns();
-        let cache = (!self.caches.is_empty()).then(|| {
-            let mut total = *self.caches[0].stats();
-            for c in &self.caches[1..] {
-                let s = c.stats();
-                total.read_hits += s.read_hits;
-                total.read_misses += s.read_misses;
-                total.write_hits += s.write_hits;
-                total.write_misses += s.write_misses;
-                total.dirty_evictions += s.dirty_evictions;
-                total.overflow_events += s.overflow_events;
-            }
-            total
-        });
-        let faults = self.fault.as_ref().map(|f| {
-            let end = self.engine.now();
-            let battery_ns = f.battery_window_ns
-                + if f.battery_out {
-                    end - f.battery_fail_at
-                } else {
-                    0
-                };
-            FaultReport {
-                degraded_window_ms: f.failed_at.map_or(0.0, |t0| {
-                    simkit::time::ns_to_ms(f.healthy_at.unwrap_or(end) - t0)
-                }),
-                rebuild_ms: f.rebuild_started.map_or(0.0, |t0| {
-                    simkit::time::ns_to_ms(f.rebuild_done.unwrap_or(end) - t0)
-                }),
-                rebuild_blocks: f.rebuild_blocks,
-                transient_errors: f.transient_errors,
-                retries: f.retries,
-                escalations: f.escalations,
-                ops_aborted: f.ops_aborted,
-                ops_replayed: f.ops_replayed,
-                battery_window_ms: simkit::time::ns_to_ms(battery_ns),
-                writes_written_through: f.writes_written_through,
-                response_healthy_ms: f.resp_healthy,
-                response_degraded_ms: f.resp_degraded,
-                response_rebuilding_ms: f.resp_rebuilding,
-            }
-        });
-        SimReport {
-            organization: self.cfg.organization.label().to_string(),
-            requests_completed: self.completed,
-            reads_completed: self.completed_reads,
-            writes_completed: self.completed_writes,
-            response_all_ms: self.resp_all,
-            response_reads_ms: self.resp_reads,
-            response_writes_ms: self.resp_writes,
-            histogram_ms: self.hist.clone(),
-            phases_reads: self.phase_reads.clone(),
-            phases_writes: self.phase_writes.clone(),
-            per_disk_accesses: self.disk_counts.clone(),
-            disk_utilization: self
-                .disks
-                .iter()
-                .map(|d| d.utilization(elapsed_ns))
-                .collect(),
-            channel_utilization: self
-                .channels
-                .iter()
-                .map(|c| c.utilization(elapsed_ns))
-                .collect(),
-            cache,
-            spool_peak: self.spools.iter().map(|s| s.peak()).max().unwrap_or(0),
-            spool_merges: self.spools.iter().map(|s| s.merges()).sum(),
-            spool_stalls: self.spool_stalls,
-            disk_ops: self.disk_ops,
-            buffer_waits: self.buffer_waits,
-            elapsed_secs: self.engine.now().as_secs_f64(),
-            faults,
-            timeseries: self.ts.clone(),
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // periodic sampler
-    // ------------------------------------------------------------------
-
-    /// Record one time-series row (queue depths, utilizations, channel busy,
-    /// cache occupancy) and reschedule while the simulation still has work.
-    /// Purely observational: it reads state and never touches timing.
-    fn on_sample(&mut self) {
-        let now = self.engine.now();
-        let now_ns = now.as_ns();
-        let dt = now_ns - self.last_sample_ns;
-        let Some(ts) = self.ts.as_mut() else {
-            return;
-        };
-        let mut row = Vec::with_capacity(ts.width());
-        for (g, q) in self.queues.iter().enumerate() {
-            let depth = q.len() + usize::from(self.in_service[g].is_some());
-            row.push(depth as f64);
-        }
-        for (g, d) in self.disks.iter().enumerate() {
-            let busy = d.busy_ns();
-            // Windowed busy fraction; can exceed 1.0 because service time is
-            // committed when an op starts, not accrued as it runs.
-            let frac = if dt > 0 {
-                (busy - self.prev_disk_busy[g]) as f64 / dt as f64
-            } else {
-                0.0
-            };
-            self.prev_disk_busy[g] = busy;
-            row.push(frac);
-        }
-        for (a, c) in self.channels.iter().enumerate() {
-            let busy = c.busy_ns();
-            let frac = if dt > 0 {
-                (busy - self.prev_chan_busy[a]) as f64 / dt as f64
-            } else {
-                0.0
-            };
-            self.prev_chan_busy[a] = busy;
-            row.push(frac);
-        }
-        for cache in &self.caches {
-            row.push(cache.dirty_count() as f64);
-            row.push((cache.len() - cache.dirty_count()) as f64);
-        }
-        ts.push(now_ns, row);
-        self.last_sample_ns = now_ns;
-
-        let work_left = self.next_arrival < self.trace.records.len()
-            || self.inflight > 0
-            || self.caches.iter().any(|c| c.dirty_count() > 0)
-            || self.spools.iter().any(|s| !s.is_empty())
-            || self.fault.as_ref().is_some_and(|f| f.rebuild_active);
-        if work_left {
-            self.engine
-                .schedule_at(now + self.sample_period_ns, Ev::Sample);
         }
     }
 }

@@ -4,7 +4,7 @@
 //! because the trace-driven simulation is exactly reproducible: the same
 //! trace and seed must yield the same figures. The Rust compiler cannot
 //! enforce that, so this tool does. It walks every `.rs` file in the
-//! sim-core crates and checks five domain invariants:
+//! sim-core crates and checks six domain invariants:
 //!
 //! 1. **`hash-collection`** — no `std::collections::HashMap`/`HashSet`:
 //!    their iteration order is randomized per process, so any result that
@@ -24,6 +24,13 @@
 //!    randomness must be drawn as named substreams of a `FaultPlan`
 //!    (`plan.stream(tag)`), so two consumers can never share — or
 //!    reorder draws from — one generator.
+//! 6. **`scheduler-seam`** — the layered-core seams stay sealed:
+//!    `DiskScheduler` implementations live only in `diskmodel`, and
+//!    `Organization::` variant dispatch appears only in `raidsim`'s
+//!    config, report, mapping, and `sim/planning` modules. Everything
+//!    else must go through the `OrgPlanner`/`DiskScheduler` traits, so a
+//!    new organization or discipline is one new impl — not a sweep for
+//!    stray `match` arms.
 //!
 //! A site can opt out with a justified annotation on the same line or the
 //! line directly above:
@@ -51,8 +58,8 @@ use std::path::{Path, PathBuf};
 // Rules
 // ---------------------------------------------------------------------------
 
-/// The five determinism invariants, plus the two meta-rules about the
-/// escape-hatch annotations themselves.
+/// The six determinism/architecture invariants, plus the two meta-rules
+/// about the escape-hatch annotations themselves.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     HashCollection,
@@ -60,16 +67,18 @@ pub enum Rule {
     RawTimeCast,
     PanicPolicy,
     FaultRng,
+    SchedulerSeam,
     MalformedAllow,
     UnusedAllow,
 }
 
-pub const RULES: [Rule; 7] = [
+pub const RULES: [Rule; 8] = [
     Rule::HashCollection,
     Rule::AmbientNondet,
     Rule::RawTimeCast,
     Rule::PanicPolicy,
     Rule::FaultRng,
+    Rule::SchedulerSeam,
     Rule::MalformedAllow,
     Rule::UnusedAllow,
 ];
@@ -82,6 +91,7 @@ impl Rule {
             Rule::RawTimeCast => "raw-time-cast",
             Rule::PanicPolicy => "panic-policy",
             Rule::FaultRng => "fault-rng",
+            Rule::SchedulerSeam => "scheduler-seam",
             Rule::MalformedAllow => "malformed-allow",
             Rule::UnusedAllow => "unused-allow",
         }
@@ -112,6 +122,11 @@ impl Rule {
             Rule::FaultRng => {
                 "derive fault randomness as a named substream of the plan \
                  (`plan.stream(tag)`); only simkit::fault may construct FaultRng directly"
+            }
+            Rule::SchedulerSeam => {
+                "dispatch through the layer traits: implement DiskScheduler in \
+                 crates/diskmodel, and match Organization:: only in raidsim's config, \
+                 report, mapping, or sim/planning modules (add an OrgPlanner method instead)"
             }
             Rule::MalformedAllow => {
                 "write `// simlint::allow(<rule>): <reason>` — the rule must exist and the \
@@ -656,6 +671,23 @@ fn is_fault_boundary(path: &str) -> bool {
     path.replace('\\', "/").ends_with("simkit/src/fault.rs")
 }
 
+/// May this file dispatch on `Organization::` variants? The planner seam
+/// confines organization knowledge to configuration, report labeling, the
+/// block-address maps, and the planning layer that wraps them.
+fn is_org_boundary(path: &str) -> bool {
+    let norm = path.replace('\\', "/");
+    norm.ends_with("raidsim/src/config.rs")
+        || norm.ends_with("raidsim/src/report.rs")
+        || norm.contains("raidsim/src/mapping")
+        || norm.ends_with("raidsim/src/sim/planning.rs")
+}
+
+/// Is this file inside `diskmodel`, the only crate that may implement
+/// [`DiskScheduler`]?
+fn is_scheduler_boundary(path: &str) -> bool {
+    path.replace('\\', "/").contains("diskmodel/src")
+}
+
 // ---------------------------------------------------------------------------
 // Rule matching
 // ---------------------------------------------------------------------------
@@ -736,6 +768,15 @@ pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
                         && toks.get(i + 3).and_then(|t| t.ident()) == Some("new") =>
                 {
                     raw.push((Rule::FaultRng, toks[i].line, toks[i].col));
+                }
+                Some("Organization") if !is_org_boundary(path) && path_sep(i + 1) => {
+                    raw.push((Rule::SchedulerSeam, toks[i].line, toks[i].col));
+                }
+                Some("DiskScheduler")
+                    if !is_scheduler_boundary(path)
+                        && toks.get(i + 1).and_then(|t| t.ident()) == Some("for") =>
+                {
+                    raw.push((Rule::SchedulerSeam, toks[i].line, toks[i].col));
                 }
                 Some(id)
                     if !is_time_boundary(path)
@@ -985,6 +1026,55 @@ mod tests {
         assert_eq!(rules_of(&d), vec![Rule::FaultRng]);
         // Deriving a named substream from the plan is the sanctioned way.
         let d = lint("fn f(p: &FaultPlan) { let _r = p.stream(3); }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn flags_organization_dispatch_outside_planner_modules() {
+        let src = "fn f(o: Organization) -> bool { matches!(o, Organization::Base) }\n";
+        let d = analyze_source("crates/raidsim/src/sim/mod.rs", src, &Config::default());
+        assert_eq!(rules_of(&d), vec![Rule::SchedulerSeam]);
+        assert_eq!(d[0].level, Level::Deny);
+        // The sanctioned homes of organization knowledge are exempt.
+        for path in [
+            "crates/raidsim/src/config.rs",
+            "crates/raidsim/src/report.rs",
+            "crates/raidsim/src/mapping/mod.rs",
+            "crates/raidsim/src/mapping/degraded.rs",
+            "crates/raidsim/src/sim/planning.rs",
+        ] {
+            assert!(
+                analyze_source(path, src, &Config::default()).is_empty(),
+                "{path} should be allowed to dispatch on Organization::"
+            );
+        }
+        // Naming the type (not a variant) is fine anywhere.
+        let d = analyze_source(
+            "crates/raidsim/src/sim/mod.rs",
+            "use crate::config::Organization;\nfn g(_o: Organization) {}\n",
+            &Config::default(),
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn flags_disk_scheduler_impls_outside_diskmodel() {
+        let src = "struct MyQ;\nimpl DiskScheduler for MyQ {}\n";
+        let d = analyze_source(
+            "crates/raidsim/src/sim/dispatch.rs",
+            src,
+            &Config::default(),
+        );
+        assert_eq!(rules_of(&d), vec![Rule::SchedulerSeam]);
+        // diskmodel is the sanctioned implementation site.
+        let d = analyze_source("crates/diskmodel/src/scheduler.rs", src, &Config::default());
+        assert!(d.is_empty(), "{d:?}");
+        // Using the trait (imports, bounds, method calls) is fine anywhere.
+        let d = analyze_source(
+            "crates/raidsim/src/sim/dispatch.rs",
+            "use diskmodel::DiskScheduler;\nfn g<T: DiskScheduler>(q: &T) -> usize { q.len() }\n",
+            &Config::default(),
+        );
         assert!(d.is_empty(), "{d:?}");
     }
 
