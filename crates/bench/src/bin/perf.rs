@@ -8,12 +8,22 @@
 //! future PRs from quietly slowing the hot path.
 //!
 //! ```text
-//! perf                          # measure, write BENCH_3.json
+//! perf                          # measure, write BENCH_6.json
 //! perf --scale 0.05 --reps 3    # smaller workload, best-of-3 timing
-//! perf --check BENCH_3.json     # measure, then gate against a baseline
-//! perf --check BENCH_3.json --tolerance 0.5   # cross-machine smoke gate
+//! perf --check BENCH_6.json     # measure, then gate against a baseline
+//! perf --check BENCH_6.json --tolerance 0.5   # cross-machine smoke gate
 //! perf --sweep-grid 24          # time sweep::run_all on a mixed grid
+//! perf --par-run 8              # add the partitioned-run axis at 8 threads
 //! ```
+//!
+//! `--par-run T` adds a second axis on a *multi-array* Trace 1 workload
+//! (13 redundancy groups at the default `--par-scale`): each organization
+//! is timed serial and then partitioned across `T` intra-run threads, and
+//! the two reports are compared **byte for byte** — any divergence aborts
+//! the harness, so every BENCH_6.json row doubles as a determinism proof.
+//! Parallel rows report events/sec as *serial-equivalent* events over
+//! parallel wall time: the partitions replicate the arrival stream, so
+//! counting their raw event totals would overstate useful throughput.
 //!
 //! All simulated results (mean response times) are independent of this
 //! harness: it times the same deterministic runs the science binaries use.
@@ -25,7 +35,7 @@ use raidsim::{
 use std::time::Instant;
 use tracegen::SynthSpec;
 
-const BENCH_ID: u64 = 3;
+const BENCH_ID: u64 = 6;
 
 struct Args(Vec<String>);
 
@@ -56,7 +66,8 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: perf [--scale F] [--reps N] [--seed N] [--out PATH]\n\
-         \t[--check BASELINE.json] [--tolerance F] [--sweep-grid N] [--threads N]"
+         \t[--check BASELINE.json] [--tolerance F] [--sweep-grid N] [--threads N]\n\
+         \t[--par-run T] [--par-scale F]"
     );
     std::process::exit(2)
 }
@@ -93,8 +104,13 @@ fn main() {
     }
     let reps: usize = args.parse("--reps", 1).max(1);
     let seed: u64 = args.parse("--seed", 7);
-    let out_path = args.get("--out").unwrap_or("BENCH_3.json").to_string();
+    let out_path = args.get("--out").unwrap_or("BENCH_6.json").to_string();
     let tolerance: f64 = args.parse("--tolerance", 0.15);
+    let par_threads: usize = args.parse("--par-run", 0);
+    let par_scale: f64 = args.parse("--par-scale", 0.02);
+    if !(par_scale > 0.0 && par_scale <= 1.0) {
+        die(&format!("--par-scale {par_scale} out of range (0, 1]"));
+    }
 
     eprintln!("generating workload (trace2 @ scale {scale}, seed {seed})…");
     let trace = SynthSpec::trace2().scaled(scale).generate();
@@ -161,6 +177,18 @@ fn main() {
             });
         }
     }
+    if par_threads > 0 {
+        par_axis(
+            par_threads,
+            par_scale,
+            reps,
+            seed,
+            &mut runs,
+            &mut total_events,
+            &mut total_wall,
+        );
+    }
+
     let report = PerfReport {
         bench_id: BENCH_ID,
         workload: "trace2".to_string(),
@@ -207,6 +235,118 @@ fn main() {
             Err(e) => {
                 eprintln!("\n--check vs {baseline_path} FAILED:\n{e}");
                 std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// The `--par-run T` axis: serial vs partitioned execution of a
+/// multi-array Trace 1 workload (13 redundancy groups). Every partitioned
+/// run is compared byte-for-byte against its serial reference; any
+/// divergence aborts the harness. Parallel rows count *serial-equivalent*
+/// events (the useful work) over parallel wall time, because partitions
+/// replicate the shared arrival stream and their raw event totals would
+/// flatter the parallel path.
+#[allow(clippy::too_many_arguments)]
+fn par_axis(
+    threads: usize,
+    scale: f64,
+    reps: usize,
+    seed: u64,
+    runs: &mut Vec<PerfRun>,
+    total_events: &mut u64,
+    total_wall: &mut f64,
+) {
+    eprintln!("\npartitioned-run axis (trace1 @ scale {scale}, {threads} intra-run threads)…");
+    let trace = SynthSpec::trace1().scaled(scale).generate();
+    eprintln!("{} requests\n", trace.len());
+    eprintln!(
+        "{:<16} {:>6} {:>10} {:>9} {:>12} {:>8}",
+        "run", "cache", "events", "wall s", "events/s", "speedup"
+    );
+    for org in organizations() {
+        for cached in [false, true] {
+            // Serial reference: the timing baseline *and* the byte-identity
+            // oracle for the partitioned run.
+            let mut serial: Option<(f64, raidsim::RunStats, f64)> = None;
+            let mut serial_bytes = String::new();
+            for _ in 0..reps {
+                let sim = match Simulator::try_new(config(org, cached, seed), &trace) {
+                    Ok(sim) => sim,
+                    Err(e) => die(&format!("{} cached={cached}: {e}", org.label())),
+                };
+                let t0 = Instant::now();
+                let (report, stats) = sim.run_instrumented();
+                let wall = t0.elapsed().as_secs_f64();
+                if serial.is_none_or(|(w, _, _)| wall < w) {
+                    serial = Some((wall, stats, report.mean_response_ms()));
+                    serial_bytes = format!("{report:#?}");
+                }
+            }
+            let Some((s_wall, s_stats, s_mean)) = serial else {
+                unreachable!("reps >= 1")
+            };
+            let mut par: Option<(f64, raidsim::RunStats)> = None;
+            for _ in 0..reps {
+                let sim = match Simulator::try_new(config(org, cached, seed), &trace) {
+                    Ok(sim) => sim,
+                    Err(e) => die(&format!("{} cached={cached}: {e}", org.label())),
+                };
+                let t0 = Instant::now();
+                let (report, stats, partitioned) = sim.run_par_instrumented(threads);
+                let wall = t0.elapsed().as_secs_f64();
+                if !partitioned {
+                    die(&format!(
+                        "{} cached={cached}: a 13-array run fell back to serial",
+                        org.label()
+                    ));
+                }
+                if format!("{report:#?}") != serial_bytes {
+                    die(&format!(
+                        "{} cached={cached}: parallel report diverged from serial — \
+                         determinism violation",
+                        org.label()
+                    ));
+                }
+                if par.is_none_or(|(w, _)| wall < w) {
+                    par = Some((wall, stats));
+                }
+            }
+            let Some((p_wall, p_stats)) = par else {
+                unreachable!("reps >= 1")
+            };
+            let events = s_stats.events_processed;
+            for (label, wall, peak, speedup) in [
+                (
+                    format!("{}@ma", org.label()),
+                    s_wall,
+                    s_stats.peak_pending,
+                    1.0,
+                ),
+                (
+                    format!("{}@par{threads}", org.label()),
+                    p_wall,
+                    p_stats.peak_pending,
+                    s_wall / p_wall,
+                ),
+            ] {
+                let eps = events as f64 / wall;
+                eprintln!(
+                    "{:<16} {:>6} {:>10} {:>9.3} {:>12.0} {:>7.2}x",
+                    label, cached, events, wall, eps, speedup
+                );
+                *total_events += events;
+                *total_wall += wall;
+                runs.push(PerfRun {
+                    label,
+                    cached,
+                    requests: trace.len() as u64,
+                    events,
+                    wall_secs: wall,
+                    events_per_sec: eps,
+                    peak_queue_depth: peak as u64,
+                    mean_response_ms: s_mean,
+                });
             }
         }
     }

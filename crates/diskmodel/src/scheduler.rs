@@ -35,6 +35,15 @@
 //!    non-empty). Ties within a band break by enqueue order, so a
 //!    discipline is a pure function of its push/pop history — never of
 //!    iteration order or ambient state.
+//! 4. **Aborts do not move the arm.** [`DiskScheduler::drain`] removes
+//!    every queued operation at once — the disk-failure abort path — in a
+//!    canonical, discipline-independent order, and must leave position
+//!    state (SCAN's cursor and sweep direction) exactly as the last real
+//!    service left it. Draining by repeated `pop`s instead drives the
+//!    sweep machinery through a phantom service pass: the cursor ends up
+//!    wherever the *aborted* ops would have taken the arm, and the hot
+//!    spare inherits that garbled state for all re-planned and rebuild
+//!    traffic.
 //!
 //! `pop` takes the arm's current cylinder so position-aware disciplines
 //! can order by seek distance; [`Fcfs`] ignores it, which is what makes it
@@ -103,6 +112,14 @@ pub trait DiskScheduler {
     /// current position. `None` iff empty.
     fn pop(&mut self, arm: Cylinder) -> Option<(Band, u32)>;
 
+    /// Remove every queued operation at once (the abort path: the ops will
+    /// never be serviced). Canonical order, identical across disciplines:
+    /// for each band in priority order, outstanding put-backs first (most
+    /// recently put back first, as `pop` would serve them), then entries
+    /// in enqueue order. Must not perturb discipline position state
+    /// (contract clause 4) — the aborted ops never moved the arm.
+    fn drain(&mut self) -> Vec<(Band, u32)>;
+
     fn len(&self) -> usize;
 
     fn is_empty(&self) -> bool {
@@ -151,6 +168,17 @@ impl DiskScheduler for Fcfs {
 
     fn pop(&mut self, _arm: Cylinder) -> Option<(Band, u32)> {
         self.q.pop()
+    }
+
+    // FCFS holds no position state, so pop order *is* the canonical drain
+    // order (put-backs sit at the front of their band's deque already) —
+    // byte-identical to the pre-drain abort path's pop loop.
+    fn drain(&mut self) -> Vec<(Band, u32)> {
+        let mut out = Vec::with_capacity(self.q.len());
+        while let Some(x) = self.q.pop() {
+            out.push(x);
+        }
+        out
     }
 
     fn len(&self) -> usize {
@@ -231,6 +259,18 @@ impl DiskScheduler for Sstf {
             return Some((band, e.token));
         }
         None
+    }
+
+    fn drain(&mut self) -> Vec<(Band, u32)> {
+        let mut out = Vec::with_capacity(self.len());
+        for band in Band::ALL {
+            let i = band.index();
+            out.extend(self.put_back[i].drain(..).map(|(b, token, _)| (b, token)));
+            let mut entries = std::mem::take(&mut self.bands[i]);
+            entries.sort_unstable_by_key(|e| e.seq);
+            out.extend(entries.into_iter().map(|e| (band, e.token)));
+        }
+        out
     }
 
     fn len(&self) -> usize {
@@ -345,6 +385,23 @@ impl DiskScheduler for Scan {
         None
     }
 
+    // Unlike `pop`, draining leaves `cursor`/`upward` alone: aborted ops
+    // were never serviced, so the arm never swept over them.
+    fn drain(&mut self) -> Vec<(Band, u32)> {
+        let mut out = Vec::with_capacity(self.len());
+        for band in Band::ALL {
+            let i = band.index();
+            out.extend(self.put_back[i].drain(..).map(|(b, token, _)| (b, token)));
+            let mut entries: Vec<(u64, u32)> = std::mem::take(&mut self.bands[i])
+                .into_iter()
+                .map(|((_cyl, seq), token)| (seq, token))
+                .collect();
+            entries.sort_unstable_by_key(|&(seq, _)| seq);
+            out.extend(entries.into_iter().map(|(_, token)| (band, token)));
+        }
+        out
+    }
+
     fn len(&self) -> usize {
         Band::ALL.iter().map(|&b| self.band_len(b)).sum()
     }
@@ -403,6 +460,10 @@ impl DiskScheduler for SchedulerQueue {
 
     fn pop(&mut self, arm: Cylinder) -> Option<(Band, u32)> {
         delegate!(self, q => q.pop(arm))
+    }
+
+    fn drain(&mut self) -> Vec<(Band, u32)> {
+        delegate!(self, q => q.drain())
     }
 
     fn len(&self) -> usize {
@@ -564,6 +625,87 @@ mod tests {
         }
     }
 
+    /// Contract clause 4 regression: draining on abort must not drive the
+    /// sweep machinery. Two identical SCAN queues mid-sweep are emptied
+    /// for a disk failure — one via `drain`, one via the legacy pop loop —
+    /// then receive identical fresh work: the drained queue resumes the
+    /// sweep where the last *real* service left it, while the pop-looped
+    /// queue's cursor and direction ended up wherever the *aborted* ops
+    /// would have taken the arm.
+    #[test]
+    fn abort_drain_preserves_sweep_position_unlike_pop_draining() {
+        let mut fixed = Scan::new();
+        let mut legacy = Scan::new();
+        for s in [&mut fixed, &mut legacy] {
+            s.push(Band::Normal, 1, 10);
+            s.push(Band::Normal, 2, 50);
+            assert_eq!(s.pop(0), Some((Band::Normal, 1)));
+            assert_eq!(s.pop(10), Some((Band::Normal, 2)));
+            // The sweep is now at cylinder 50, heading up.
+            s.push(Band::Normal, 3, 40);
+            s.push(Band::Normal, 4, 60);
+        }
+        // The disk fails: everything still queued is aborted.
+        let drained = fixed.drain();
+        assert_eq!(
+            drained,
+            vec![(Band::Normal, 3), (Band::Normal, 4)],
+            "canonical drain aborts in enqueue order"
+        );
+        let mut popped = Vec::new();
+        while let Some(x) = legacy.pop(legacy.cursor) {
+            popped.push(x);
+        }
+        // Same ops aborted either way — but the pop loop "serviced" them:
+        // swept up to 60, reversed, came back down to 40.
+        assert_eq!(popped, vec![(Band::Normal, 4), (Band::Normal, 3)]);
+        assert_eq!((fixed.cursor, fixed.upward), (50, true));
+        assert_eq!((legacy.cursor, legacy.upward), (40, false));
+        // The hot spare takes over and identical re-planned work arrives:
+        // the fixed queue resumes the interrupted upward sweep; the
+        // garbled one heads the wrong way.
+        for s in [&mut fixed, &mut legacy] {
+            s.push(Band::Normal, 5, 45);
+            s.push(Band::Normal, 6, 55);
+        }
+        assert_eq!(
+            fixed.pop(50),
+            Some((Band::Normal, 6)),
+            "upward sweep resumes past cylinder 50"
+        );
+        assert_eq!(
+            legacy.pop(50),
+            Some((Band::Normal, 5)),
+            "phantom sweep state picks the wrong op"
+        );
+    }
+
+    /// `drain` returns put-backs first within each band, then entries in
+    /// enqueue order, Priority → Normal → Background — identically for
+    /// every discipline — and leaves the scheduler empty.
+    #[test]
+    fn drain_is_canonical_exactly_once_for_every_discipline() {
+        for mut s in schedulers() {
+            s.push(Band::Background, 30, 100);
+            s.push(Band::Normal, 20, 900);
+            s.push(Band::Priority, 10, 1200);
+            s.push(Band::Normal, 21, 50);
+            assert_eq!(s.pop(1200), Some((Band::Priority, 10)));
+            s.put_back(Band::Priority, 10, 1200);
+            assert_eq!(
+                s.drain(),
+                vec![
+                    (Band::Priority, 10),
+                    (Band::Normal, 20),
+                    (Band::Normal, 21),
+                    (Band::Background, 30),
+                ]
+            );
+            assert!(s.is_empty());
+            assert!(s.drain().is_empty());
+        }
+    }
+
     #[test]
     fn len_accounting_spans_bands_and_putbacks() {
         for mut s in schedulers() {
@@ -631,6 +773,38 @@ mod tests {
                 let b = run(&mut SchedulerQueue::new(d))?;
                 prop_assert_eq!(a, b, "{} replay diverged", d.label());
             }
+        }
+
+        /// FCFS `drain` is byte-identical to the legacy abort path's pop
+        /// loop — the property that keeps the pinned fault-injection
+        /// replay hash intact across the drain fix.
+        #[test]
+        fn fcfs_drain_matches_pop_loop(
+            ops in proptest::collection::vec((0u8..3, any::<bool>()), 1..60),
+        ) {
+            let mut a = SchedulerQueue::new(Discipline::Fcfs);
+            let mut b = SchedulerQueue::new(Discipline::Fcfs);
+            for (i, &(band, pop_one)) in ops.iter().enumerate() {
+                let band = Band::ALL[band as usize];
+                a.push(band, i as u32, 0);
+                b.push(band, i as u32, 0);
+                if pop_one {
+                    let got = a.pop(0);
+                    prop_assert_eq!(got, b.pop(0));
+                    if let Some((pb, pt)) = got {
+                        if i % 3 == 0 {
+                            a.put_back(pb, pt, 0);
+                            b.put_back(pb, pt, 0);
+                        }
+                    }
+                }
+            }
+            let drained = a.drain();
+            let mut legacy = Vec::new();
+            while let Some(x) = b.pop(0) {
+                legacy.push(x);
+            }
+            prop_assert_eq!(drained, legacy);
         }
 
         /// FCFS through the scheduler seam is indistinguishable from the

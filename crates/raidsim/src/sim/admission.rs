@@ -19,6 +19,18 @@ impl<'t> Simulator<'t> {
         let rec = self.trace.records[idx];
         let array = rec.disk / self.n;
 
+        // Partition mode: a record addressed to another partition's arrays
+        // is a stub arrival — the trace cursor and the arrival chain above
+        // advanced exactly as in a serial run (so every later schedule in
+        // this partition keeps its serial relative order), but the record
+        // itself is processed solely by its owning partition.
+        if let Some(p) = self.par.as_deref_mut() {
+            p.note.is_arrive = true;
+            if !(p.lo..p.hi).contains(&array) {
+                return;
+            }
+        }
+
         if self.cfg.cache.is_none() {
             // Track-buffer admission control (non-cached controllers stage
             // all data through the buffer pool).
@@ -61,6 +73,9 @@ impl<'t> Simulator<'t> {
             window,
         });
         self.inflight += 1;
+        if let Some(p) = self.par.as_deref_mut() {
+            p.note.inflight_delta += 1;
+        }
         if self.event_log.is_some() {
             let line = format!(
                 "{{\"t\":{},\"ev\":\"arrive\",\"req\":{},\"read\":{},\"arrive_ns\":{},\"disk\":{},\"block\":{},\"nblocks\":{}}}",

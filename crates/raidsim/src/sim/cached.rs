@@ -223,6 +223,13 @@ impl<'t> Simulator<'t> {
             self.engine
                 .schedule_after(self.destage_period_ns, Ev::DestageTick { array });
         }
+        // Partition mode: `inflight` above counts only this partition's
+        // requests, so the local chain may end while the serial chain (which
+        // sees global in-flight work) would keep ticking. Journal the
+        // decision; the merge extends the chain virtually when needed.
+        if let Some(p) = self.par.as_deref_mut() {
+            p.note.tick_resched = Some(work_left);
+        }
     }
 
     pub(super) fn issue_destage_group(&mut self, array: u32, group: DestageGroup) {
@@ -393,7 +400,7 @@ impl<'t> Simulator<'t> {
                 });
                 match job {
                     None => self.enqueue_op(t),
-                    Some(j) => self.jobs.get_mut(j).pending_parity.push(t),
+                    Some(j) => self.jobs.pending_parity[j as usize].push(t),
                 }
             }
             // Enqueue feeders only after the parity ops are registered.

@@ -28,20 +28,20 @@ impl<'t> Simulator<'t> {
 
     pub(super) fn enqueue_op(&mut self, token: u32) {
         let now = self.engine.now();
-        let (gdisk, band, role, block) = {
-            let op = self.ops.get(token);
-            (op.gdisk, op.band, op.role, op.block)
-        };
+        let t = token as usize;
+        let (gdisk, band, role, block) = (
+            self.ops.gdisk[t],
+            self.ops.band[t],
+            self.ops.role[t],
+            self.ops.block[t],
+        );
         let g = gdisk as usize;
         // Background-busy snapshot, credited with the *remaining* time of a
         // background op currently in service so the interference window
         // counts only overlap with [enqueue, start].
         let snap = self.bg_busy_cum[g] - self.bg_until[g].saturating_since(now);
-        {
-            let op = self.ops.get_mut(token);
-            op.marks.enqueue = now;
-            op.marks.bg_snap = snap;
-        }
+        self.ops.marks[t].enqueue = now;
+        self.ops.marks[t].bg_snap = snap;
         // A disk that failed after this op was planned cannot serve it:
         // abort and (for reads of lost data) re-plan through the degraded
         // path. This catches stragglers staged before the failure — boxed
@@ -63,8 +63,14 @@ impl<'t> Simulator<'t> {
         }
         // Queue depths at the dispatch decision, the op about to be served
         // included.
+        let mut depths = [0.0f64; 3];
         for band in Band::ALL {
-            self.sched_qdepth[band.index()].push(self.queues[g].band_len(band) as f64);
+            let d = self.queues[g].band_len(band) as f64;
+            self.sched_qdepth[band.index()].push(d);
+            depths[band.index()] = d;
+        }
+        if let Some(p) = self.par.as_deref_mut() {
+            p.note.pushes.push(StatPush::QDepth(depths));
         }
         let arm = self.disks[g].current_cylinder();
         let Some((_, token)) = self.queues[g].pop(arm) else {
@@ -75,25 +81,29 @@ impl<'t> Simulator<'t> {
 
     fn start_op(&mut self, gdisk: u32, token: u32) {
         let now = self.engine.now();
-        let (block, nblocks, kind, job, feeds, band, role) = {
-            let op = self.ops.get(token);
-            (
-                op.block, op.nblocks, op.kind, op.job, op.feeds, op.band, op.role,
-            )
-        };
-        self.sched_seek_cyl
-            .push(self.disks[gdisk as usize].arm_distance(block) as f64);
+        let t = token as usize;
+        let (block, nblocks, kind, job, feeds, band, role) = (
+            self.ops.block[t],
+            self.ops.nblocks[t],
+            self.ops.kind[t],
+            self.ops.job[t],
+            self.ops.feeds[t],
+            self.ops.band[t],
+            self.ops.role[t],
+        );
+        let seek_cyl = self.disks[gdisk as usize].arm_distance(block) as f64;
+        self.sched_seek_cyl.push(seek_cyl);
+        if let Some(p) = self.par.as_deref_mut() {
+            p.note.pushes.push(StatPush::Seek(seek_cyl));
+        }
         let timing = self.disks[gdisk as usize].plan(now, block, nblocks, kind);
         self.disk_counts.add(gdisk as usize, 1);
         self.disk_ops += 1;
-        {
-            let op = self.ops.get_mut(token);
-            op.read_end = timing.read_end;
-            op.transfer_ns = timing.transfer_ns;
-            op.marks.start = now;
-            op.marks.seek_ns = timing.seek_ns;
-            op.marks.latency_ns = timing.latency_ns;
-        }
+        self.ops.read_end[t] = timing.read_end;
+        self.ops.transfer_ns[t] = timing.transfer_ns;
+        self.ops.marks[t].start = now;
+        self.ops.marks[t].seek_ns = timing.seek_ns;
+        self.ops.marks[t].latency_ns = timing.latency_ns;
         if self.event_log.is_some() {
             let line = format!(
                 "{{\"t\":{},\"ev\":\"dispatch\",\"disk\":{},\"role\":\"{:?}\",\"band\":\"{:?}\",\"block\":{},\"nblocks\":{},\"seek_ns\":{},\"rotation_ns\":{},\"transfer_ns\":{}}}",
@@ -122,12 +132,12 @@ impl<'t> Simulator<'t> {
         // final completion outright.
         let complete = if kind == AccessKind::RmwParityRead {
             match job {
-                Some(j) if self.jobs.get(j).data_not_started > 0 => timing.complete,
+                Some(j) if self.jobs.data_not_started[j as usize] > 0 => timing.complete,
                 Some(j) => rmw_write_complete(
                     timing.read_end,
                     timing.transfer_ns,
                     self.rot_ns,
-                    self.jobs.get(j).ready,
+                    self.jobs.ready[j as usize],
                 ),
                 None => timing.complete, // ready immediately: read_end + rot
             }
@@ -151,23 +161,21 @@ impl<'t> Simulator<'t> {
     /// A feeder (data RMW / reconstruct read) started service: update the
     /// job's ready time and release parity ops per the synchronization rule.
     pub(super) fn feed_job(&mut self, job: u32, read_end: SimTime) {
-        let (became_ready, rule, ready) = {
-            let j = self.jobs.get_mut(job);
-            j.ready = j.ready.max(read_end);
-            j.data_not_started -= 1;
-            j.refs -= 1;
-            (j.data_not_started == 0, j.rule, j.ready)
-        };
-        if became_ready {
-            match rule {
+        let j = job as usize;
+        self.jobs.ready[j] = self.jobs.ready[j].max(read_end);
+        self.jobs.data_not_started[j] -= 1;
+        self.jobs.refs[j] -= 1;
+        if self.jobs.data_not_started[j] == 0 {
+            match self.jobs.rule[j] {
                 EnqueueRule::AlreadyIssued => {}
                 EnqueueRule::AtReady => {
-                    if !self.jobs.get(job).pending_parity.is_empty() {
+                    if !self.jobs.pending_parity[j].is_empty() {
+                        let ready = self.jobs.ready[j];
                         self.engine.schedule_at(ready, Ev::EnqueueParity(job));
                     }
                 }
                 EnqueueRule::AtAllStarted => {
-                    let pending = std::mem::take(&mut self.jobs.get_mut(job).pending_parity);
+                    let pending = std::mem::take(&mut self.jobs.pending_parity[j]);
                     for t in pending {
                         self.enqueue_op(t);
                     }
@@ -178,8 +186,8 @@ impl<'t> Simulator<'t> {
     }
 
     pub(super) fn maybe_free_job(&mut self, job: u32) {
-        if self.jobs.get(job).refs == 0 {
-            debug_assert!(self.jobs.get(job).pending_parity.is_empty());
+        if self.jobs.refs[job as usize] == 0 {
+            debug_assert!(self.jobs.pending_parity[job as usize].is_empty());
             self.jobs.remove(job);
         }
     }
@@ -188,19 +196,21 @@ impl<'t> Simulator<'t> {
         let now = self.engine.now();
         // Parity RMWs may need to hold the disk for more rotations if the
         // new parity was not ready when the head came back (Section 3.3).
-        if self.ops.get(token).kind == AccessKind::RmwParityRead {
-            let (read_end, transfer_ns, job) = {
-                let op = self.ops.get(token);
-                (op.read_end, op.transfer_ns, op.job)
-            };
+        if self.ops.kind[token as usize] == AccessKind::RmwParityRead {
+            let t = token as usize;
+            let (read_end, transfer_ns, job) = (
+                self.ops.read_end[t],
+                self.ops.transfer_ns[t],
+                self.ops.job[t],
+            );
             let hold_until = match job {
-                Some(j) if self.jobs.get(j).data_not_started > 0 => Some(now + self.rot_ns),
+                Some(j) if self.jobs.data_not_started[j as usize] > 0 => Some(now + self.rot_ns),
                 Some(j) => {
                     let actual = rmw_write_complete(
                         read_end,
                         transfer_ns,
                         self.rot_ns,
-                        self.jobs.get(j).ready,
+                        self.jobs.ready[j as usize],
                     );
                     (actual > now).then_some(actual)
                 }
@@ -208,7 +218,7 @@ impl<'t> Simulator<'t> {
             };
             if let Some(until) = hold_until {
                 self.disks[gdisk as usize].extend_busy(until);
-                if self.ops.get(token).band == Band::Background {
+                if self.ops.band[t] == Band::Background {
                     self.bg_busy_cum[gdisk as usize] += until - now;
                     self.bg_until[gdisk as usize] = until;
                 }
@@ -230,17 +240,14 @@ impl<'t> Simulator<'t> {
             .fault
             .as_ref()
             .map_or(0.0, |f| f.fcfg.transient_error_prob);
-        if transient_p > 0.0 && !self.ops.get(token).feeds {
+        if transient_p > 0.0 && !self.ops.feeds[token as usize] {
             let erred = self
                 .fault
                 .as_mut()
                 .is_some_and(|f| f.rngs[gdisk as usize].chance(transient_p));
             if erred {
-                let attempts = {
-                    let op = self.ops.get_mut(token);
-                    op.attempts += 1;
-                    op.attempts
-                };
+                self.ops.attempts[token as usize] += 1;
+                let attempts = self.ops.attempts[token as usize];
                 let policy = self.fault.as_ref().map_or(RetryPolicy::new(0, 0), |f| {
                     RetryPolicy::new(f.fcfg.retry_backoff_us * 1_000, f.fcfg.max_retries)
                 });
@@ -305,7 +312,7 @@ impl<'t> Simulator<'t> {
                     self.request_part_done(req, now, phase);
                 }
                 if let Some(j) = op.job {
-                    self.jobs.get_mut(j).refs -= 1;
+                    self.jobs.refs[j as usize] -= 1;
                     self.maybe_free_job(j);
                 }
             }
@@ -338,7 +345,7 @@ impl<'t> Simulator<'t> {
             }
             OpRole::DestageParity => {
                 if let Some(j) = op.job {
-                    self.jobs.get_mut(j).refs -= 1;
+                    self.jobs.refs[j as usize] -= 1;
                     self.maybe_free_job(j);
                 }
             }
@@ -351,7 +358,7 @@ impl<'t> Simulator<'t> {
             }
             OpRole::RebuildWrite => {
                 if let Some(j) = op.job {
-                    self.jobs.get_mut(j).refs -= 1;
+                    self.jobs.refs[j as usize] -= 1;
                     self.maybe_free_job(j);
                 }
                 self.on_rebuild_batch_done(&op);

@@ -123,8 +123,11 @@ impl<'t> Simulator<'t> {
         if let Some(t) = self.in_service[g].take() {
             lost.push((t, true));
         }
-        let arm = self.disks[g].current_cylinder();
-        while let Some((_, t)) = self.queues[g].pop(arm) {
+        // Abort via `drain`, not repeated `pop`s: popping would drive the
+        // discipline's position machinery (SCAN cursor and sweep direction)
+        // through ops that are never serviced, and the hot spare would
+        // inherit that phantom sweep state (scheduler contract clause 4).
+        for (_, t) in self.queues[g].drain() {
             lost.push((t, false));
         }
         for (t, started) in lost {
@@ -182,7 +185,7 @@ impl<'t> Simulator<'t> {
                     self.request_part_done(req, now, phase);
                 }
                 if let Some(j) = op.job {
-                    self.jobs.get_mut(j).refs -= 1;
+                    self.jobs.refs[j as usize] -= 1;
                     self.maybe_free_job(j);
                 }
             }
@@ -204,7 +207,7 @@ impl<'t> Simulator<'t> {
             }
             OpRole::DestageParity | OpRole::RebuildWrite => {
                 if let Some(j) = op.job {
-                    self.jobs.get_mut(j).refs -= 1;
+                    self.jobs.refs[j as usize] -= 1;
                     self.maybe_free_job(j);
                 }
             }
@@ -379,7 +382,7 @@ impl<'t> Simulator<'t> {
             rule: EnqueueRule::AtReady,
             refs: runs.len() as u32 + 1,
         });
-        self.ops.get_mut(wt).job = Some(job);
+        self.ops.job[wt as usize] = Some(job);
         for run in runs {
             let t = self.new_op(DiskOp {
                 role: OpRole::RebuildRead,

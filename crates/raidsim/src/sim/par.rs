@@ -1,0 +1,646 @@
+//! Deterministic intra-run parallelism: partitioned execution with an
+//! exact commit-order replay merge.
+//!
+//! Arrays interact only through the shared trace (Section 3.2): no disk,
+//! channel, buffer pool, cache, or spool is shared between redundancy
+//! groups, and a request touches exactly one array. That makes the event
+//! timeline *partitionable*: split the arrays into contiguous groups, give
+//! each group to a thread running a full [`Simulator`] over the whole
+//! trace, and have each partition execute foreign arrivals as *stubs* that
+//! advance the trace cursor and the arrival chain but touch nothing else.
+//! Every partition then schedules its own events in exactly the relative
+//! order the serial run would have, because the only cross-partition
+//! coupling — the arrival chain — is replicated identically everywhere.
+//! This is conservative parallel discrete-event simulation with a
+//! replicated input stream: each partition's lookahead is the entire
+//! trace, so no synchronization is ever needed during execution.
+//!
+//! Determinism is not assumed — it is *replayed and checked*. Each
+//! partition records an [`ExecFrame`] (child schedule times, cancels) plus
+//! a [`ParNote`] (statistics pushes, in-flight delta) per executed event.
+//! The merge then reconstructs the serial run's global event order
+//! symbolically: a priority queue keyed by `(time, global schedule seq)`
+//! pops symbolic events; each pop consumes the owning partition's next
+//! journal frame (asserting the times agree — a desync is a bug, not a
+//! tolerance) and turns the frame's children into new symbolic events with
+//! serial-order sequence numbers. Statistics pushes are replayed into
+//! fresh accumulators in merged order, so every order-sensitive
+//! accumulator (Welford, histogram) receives bit-identical operands in the
+//! serial sequence and the final report serializes byte-for-byte equal to
+//! the serial run's.
+//!
+//! Two asymmetries need care:
+//!
+//! * **Arrivals** exist in every partition. A global arrival consumes one
+//!   frame from *each* partition; only the owner's children become
+//!   symbolic events (stub children are discarded — they do not exist in
+//!   the serial run — but still consume the stub partition's schedule
+//!   ordinals so cancel bookkeeping stays aligned).
+//! * **Destage ticks** reschedule themselves while *global* work remains,
+//!   but a partition only sees its own in-flight count, so its local chain
+//!   can end while the serial chain would keep ticking (idle ticks that
+//!   schedule nothing but their successor). The merge extends such chains
+//!   *virtually*, reproducing the serial run's trailing ticks — and its
+//!   final clock value, which the report's utilization denominators use.
+//!
+//! Runs that observe global state mid-run (periodic sampler, event log)
+//! or couple arrays through the controller (battery failover flushes every
+//! cache; transient-error escalation consults the global failed-disk
+//! gate) are not partitionable and fall back to the serial path — with
+//! one exception: a single injected disk failure is fine, because every
+//! consequence (aborts, degraded planning, rebuild) is confined to the
+//! failed array's partition.
+
+use super::*;
+use crate::report::PhaseSample as Phase;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Partition-mode state hung off the [`Simulator`]: the owned array range
+/// and the journal note for the event currently executing.
+pub(super) struct ParState {
+    /// First owned array.
+    pub(super) lo: u32,
+    /// One past the last owned array.
+    pub(super) hi: u32,
+    pub(super) note: ParNote,
+}
+
+/// What one executed event did at the simulation layer (the engine-level
+/// [`ExecFrame`] covers schedules/cancels): every statistics push, the
+/// in-flight delta, and the markers the merge keys off.
+#[derive(Default)]
+pub(super) struct ParNote {
+    pub(super) pushes: Vec<StatPush>,
+    pub(super) inflight_delta: i32,
+    /// This event was the trace-arrival event (real or stub).
+    pub(super) is_arrive: bool,
+    /// This event was a destage tick; the payload is whether it rescheduled
+    /// itself (its local work-left decision).
+    pub(super) tick_resched: Option<bool>,
+}
+
+/// One order-sensitive statistics push, journaled with the exact operands
+/// so the merge can replay it bit-identically in merged order.
+pub(super) enum StatPush {
+    /// A request finished: response-time, histogram, per-window, and phase
+    /// pushes all derive from these four values in a fixed sequence.
+    Complete {
+        ms: f64,
+        is_read: bool,
+        window: u8,
+        phase: Phase,
+    },
+    /// Per-band queue depths observed at one dispatch decision.
+    QDepth([f64; 3]),
+    /// Arm travel of one dispatched op.
+    Seek(f64),
+}
+
+/// Everything a finished partition hands to the merge: its journal and the
+/// final state of the hardware it owned.
+struct PartOut {
+    roots: simkit::ExecFrame,
+    journal: Vec<(simkit::ExecFrame, ParNote)>,
+    disks: Vec<Disk>,
+    channels: Vec<Channel>,
+    caches: Vec<NvCache>,
+    spools: Vec<ParitySpool>,
+    disk_counts: DiskCounters,
+    disk_ops: u64,
+    buffer_waits: u64,
+    spool_stalls: u64,
+    fault: Option<FaultState>,
+    events_processed: u64,
+    peak_pending: usize,
+}
+
+/// A symbolic event in the merge's replayed global order. Ordering is
+/// `(at, gseq)` — exactly the event queue's `(time, schedule seq)` tie
+/// rule — inverted so a max-heap pops the earliest.
+struct Sym {
+    at: SimTime,
+    gseq: u64,
+    kind: SymKind,
+}
+
+enum SymKind {
+    /// A global trace arrival: consumes one frame from every partition.
+    Arrive,
+    /// An event owned by one partition, tagged with its schedule ordinal
+    /// there (for cancel matching).
+    Local { part: usize, ord: u64 },
+    /// A serial-only trailing destage tick (see module docs): consumes no
+    /// frame, schedules nothing but its successor.
+    VirtualTick,
+}
+
+impl PartialEq for Sym {
+    fn eq(&self, other: &Sym) -> bool {
+        self.at == other.at && self.gseq == other.gseq
+    }
+}
+impl Eq for Sym {}
+impl PartialOrd for Sym {
+    fn partial_cmp(&self, other: &Sym) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Sym {
+    fn cmp(&self, other: &Sym) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest.
+        (other.at, other.gseq).cmp(&(self.at, self.gseq))
+    }
+}
+
+impl<'t> Simulator<'t> {
+    /// Run to completion, executing the arrays' timelines on up to
+    /// `threads` worker threads when the configuration permits, and
+    /// produce a report byte-identical to [`Simulator::run`]'s.
+    ///
+    /// Falls back to the serial path (identical results, one thread) when
+    /// `threads <= 1` or the run is not partitionable — see
+    /// [`Simulator::partitionable`].
+    pub fn run_par(self, threads: usize) -> SimReport {
+        self.run_par_instrumented(threads).0
+    }
+
+    /// [`Simulator::run_par`] plus engine counters and whether the run
+    /// actually executed in parallel. In a parallel run
+    /// `events_processed` sums every partition's events — stub arrivals
+    /// included, so it slightly exceeds the serial count.
+    pub fn run_par_instrumented(self, threads: usize) -> (SimReport, RunStats, bool) {
+        if threads <= 1 || !self.partitionable() {
+            let (report, stats) = self.run_instrumented();
+            return (report, stats, false);
+        }
+        let nparts = threads.min(self.arrays as usize);
+        let ranges = partition_ranges(self.arrays, nparts);
+        let trace = self.trace;
+        let parts: Vec<PartOut> = std::thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|&(lo, hi)| {
+                    let cfg = self.cfg.clone();
+                    s.spawn(move || {
+                        // The parent simulator already validated this exact
+                        // configuration, so construction cannot fail.
+                        Simulator::try_new(cfg, trace)
+                            // simlint::allow(panic-policy): a partition panic must propagate — a partial merge would fabricate results
+                            .expect("partition rebuilds a validated config")
+                            .run_as_partition(lo, hi)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                // simlint::allow(panic-policy): a partition panic must propagate — a partial merge would fabricate results
+                .map(|h| h.join().expect("partition thread panicked"))
+                .collect()
+        });
+        let (report, stats) = self.merge(&ranges, parts);
+        (report, stats, true)
+    }
+
+    /// Whether this run can be split into per-array-group partitions with
+    /// identical results. Disqualifiers are the features that observe or
+    /// mutate *global* state mid-run; each falls back to serial rather
+    /// than silently diverging.
+    fn partitionable(&self) -> bool {
+        self.arrays > 1
+            && !self.trace.records.is_empty()
+            // The sampler and event log observe all arrays at global times.
+            && self.sample_period_ns == 0
+            && self.event_log.is_none()
+            && self.fault.as_ref().is_none_or(|f| {
+                // Transient errors can escalate to a failure through a
+                // *global* single-failure gate; battery failover flushes
+                // every array's cache from one event. A single injected
+                // disk failure, by contrast, is wholly owned by the failed
+                // array's partition.
+                f.fcfg.transient_error_prob == 0.0
+                    && f.fcfg.battery_fail_at_ms.is_none()
+                    && f.fcfg.battery_restore_at_ms.is_none()
+            })
+    }
+
+    /// Execute this simulator as the partition owning arrays `lo..hi`,
+    /// journaling every event, and return the journal plus final state.
+    fn run_as_partition(mut self, lo: u32, hi: u32) -> PartOut {
+        self.par = Some(Box::new(ParState {
+            lo,
+            hi,
+            note: ParNote::default(),
+        }));
+        self.engine.set_recording(true);
+        // Roots in the serial order, filtered to what this partition owns.
+        // The arrival chain is replicated in *every* partition.
+        if let Some(first) = self.trace.records.first() {
+            self.engine.schedule_at(first.at, Ev::Arrive);
+        }
+        if self.cfg.cache.is_some() {
+            for a in lo..hi {
+                self.engine
+                    .schedule_after(self.destage_period_ns, Ev::DestageTick { array: a });
+            }
+        }
+        let fault_evs: Vec<(SimTime, FaultKind)> = match self.fault.as_ref() {
+            Some(fs) => fs
+                .plan
+                .events()
+                .iter()
+                .filter_map(|e| match *e {
+                    FaultEvent::DiskFail { array, disk, at } if (lo..hi).contains(&array) => {
+                        Some((
+                            at,
+                            FaultKind::DiskFail {
+                                gdisk: array * self.dpa + disk,
+                            },
+                        ))
+                    }
+                    // Foreign disk failures belong to their own partition;
+                    // battery events are excluded by `partitionable`.
+                    _ => None,
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        for (at, kind) in fault_evs {
+            self.engine.schedule_at(at, Ev::Fault(kind));
+        }
+        let roots = self.engine.take_frame();
+
+        let mut journal = Vec::new();
+        while let Some(ev) = self.engine.next_event() {
+            self.dispatch(ev);
+            let frame = self.engine.take_frame();
+            // simlint::allow(panic-policy): partition mode was set five lines up; losing it is unreachable
+            let note = std::mem::take(&mut self.par.as_deref_mut().expect("partition mode").note);
+            journal.push((frame, note));
+        }
+        debug_assert_eq!(self.inflight, 0, "partition left requests in flight");
+        debug_assert_eq!(self.ops.len(), 0, "partition leaked disk ops");
+
+        let Simulator {
+            engine,
+            disks,
+            channels,
+            caches,
+            spools,
+            disk_counts,
+            disk_ops,
+            buffer_waits,
+            spool_stalls,
+            fault,
+            ..
+        } = self;
+        PartOut {
+            roots,
+            journal,
+            disks,
+            channels,
+            caches,
+            spools,
+            disk_counts,
+            disk_ops,
+            buffer_waits,
+            spool_stalls,
+            fault,
+            events_processed: engine.events_processed(),
+            peak_pending: engine.peak_pending(),
+        }
+    }
+
+    /// Replay the partitions' journals in the serial global order, graft
+    /// their final hardware state onto this (never-run) simulator, and
+    /// assemble the report.
+    fn merge(mut self, ranges: &[(u32, u32)], mut parts: Vec<PartOut>) -> (SimReport, RunStats) {
+        let nparts = parts.len();
+        let records = &self.trace.records;
+        let part_of = |array: u32| -> usize {
+            ranges
+                .iter()
+                .position(|&(lo, hi)| (lo..hi).contains(&array))
+                // simlint::allow(panic-policy): every array is covered by construction of `ranges`
+                .expect("array not covered by any partition")
+        };
+
+        // --- Symbolic roots, in the serial scheduling order -------------
+        let mut heap: BinaryHeap<Sym> = BinaryHeap::new();
+        let mut gseq: u64 = 0;
+        // Next schedule ordinal per partition. Every partition journaled
+        // the arrival root as its ordinal 0.
+        let mut ordc: Vec<u64> = vec![1; nparts];
+        heap.push(Sym {
+            at: records[0].at,
+            gseq,
+            kind: SymKind::Arrive,
+        });
+        gseq += 1;
+        let has_cache = self.cfg.cache.is_some();
+        if has_cache {
+            let tick0 = SimTime::from_ns(self.destage_period_ns);
+            for a in 0..self.arrays {
+                let p = part_of(a);
+                heap.push(Sym {
+                    at: tick0,
+                    gseq,
+                    kind: SymKind::Local {
+                        part: p,
+                        ord: ordc[p],
+                    },
+                });
+                gseq += 1;
+                ordc[p] += 1;
+            }
+        }
+        if let Some(fs) = self.fault.as_ref() {
+            for e in fs.plan.events() {
+                if let FaultEvent::DiskFail { array, at, .. } = *e {
+                    let p = part_of(array);
+                    heap.push(Sym {
+                        at,
+                        gseq,
+                        kind: SymKind::Local {
+                            part: p,
+                            ord: ordc[p],
+                        },
+                    });
+                    gseq += 1;
+                    ordc[p] += 1;
+                }
+            }
+        }
+        for (p, out) in parts.iter().enumerate() {
+            assert_eq!(
+                out.roots.children.len() as u64,
+                ordc[p],
+                "partition {p} scheduled an unexpected root set"
+            );
+        }
+
+        // --- Replay -----------------------------------------------------
+        let mut cursor = vec![0usize; nparts];
+        let mut cancelled: std::collections::BTreeSet<(usize, u64)> = Default::default();
+        let mut arrive_idx = 0usize;
+        let mut global_inflight: i64 = 0;
+        let mut last_time = SimTime::ZERO;
+        let period = self.destage_period_ns;
+
+        while let Some(sym) = heap.pop() {
+            if let SymKind::Local { part, ord } = sym.kind {
+                if cancelled.remove(&(part, ord)) {
+                    continue; // never executed, in serial or in the partition
+                }
+            }
+            last_time = sym.at;
+            match sym.kind {
+                SymKind::Arrive => {
+                    let rec = records[arrive_idx];
+                    let owner = part_of(rec.disk / self.n);
+                    let chain = arrive_idx + 1 < records.len();
+                    for p in 0..nparts {
+                        let (frame, note) = &parts[p].journal[cursor[p]];
+                        cursor[p] += 1;
+                        assert!(
+                            note.is_arrive && frame.at == sym.at,
+                            "partition {p} desynced at arrival {arrive_idx}: \
+                             frame at {:?}, expected arrival at {:?}",
+                            frame.at,
+                            sym.at
+                        );
+                        if p == owner {
+                            global_inflight += note.inflight_delta as i64;
+                            for push in &note.pushes {
+                                self.apply_push(push);
+                            }
+                            for (i, &child_at) in frame.children.iter().enumerate() {
+                                let ord = ordc[p];
+                                ordc[p] += 1;
+                                let kind = if i == 0 && chain {
+                                    // The chain's next arrival is always the
+                                    // handler's first schedule.
+                                    SymKind::Arrive
+                                } else {
+                                    SymKind::Local { part: p, ord }
+                                };
+                                heap.push(Sym {
+                                    at: child_at,
+                                    gseq,
+                                    kind,
+                                });
+                                gseq += 1;
+                            }
+                            for &c in &frame.cancels {
+                                cancelled.insert((p, c));
+                            }
+                        } else {
+                            // Stub: its only child is its copy of the chain,
+                            // which does not exist in the serial order. It
+                            // still consumed schedule ordinals.
+                            debug_assert!(frame.cancels.is_empty());
+                            ordc[p] += frame.children.len() as u64;
+                        }
+                    }
+                    arrive_idx += 1;
+                }
+                SymKind::Local { part: p, .. } => {
+                    let (frame, note) = &parts[p].journal[cursor[p]];
+                    cursor[p] += 1;
+                    assert!(
+                        !note.is_arrive && frame.at == sym.at,
+                        "partition {p} desynced: frame at {:?}, expected {:?}",
+                        frame.at,
+                        sym.at
+                    );
+                    global_inflight += note.inflight_delta as i64;
+                    for push in &note.pushes {
+                        self.apply_push(push);
+                    }
+                    for &child_at in &frame.children {
+                        let ord = ordc[p];
+                        ordc[p] += 1;
+                        heap.push(Sym {
+                            at: child_at,
+                            gseq,
+                            kind: SymKind::Local { part: p, ord },
+                        });
+                        gseq += 1;
+                    }
+                    for &c in &frame.cancels {
+                        cancelled.insert((p, c));
+                    }
+                    // A tick that ended its local chain while global work
+                    // remains: the serial run would have kept ticking idly.
+                    if note.tick_resched == Some(false)
+                        && (arrive_idx < records.len() || global_inflight > 0)
+                    {
+                        heap.push(Sym {
+                            at: SimTime::from_ns(sym.at.as_ns() + period),
+                            gseq,
+                            kind: SymKind::VirtualTick,
+                        });
+                        gseq += 1;
+                    }
+                }
+                SymKind::VirtualTick => {
+                    // The serial tick at this time finds nothing dirty (its
+                    // array went idle when its partition's chain ended) and
+                    // reschedules while arrivals or in-flight work remain.
+                    if arrive_idx < records.len() || global_inflight > 0 {
+                        heap.push(Sym {
+                            at: SimTime::from_ns(sym.at.as_ns() + period),
+                            gseq,
+                            kind: SymKind::VirtualTick,
+                        });
+                        gseq += 1;
+                    }
+                }
+            }
+        }
+        for (p, out) in parts.iter().enumerate() {
+            assert_eq!(
+                cursor[p],
+                out.journal.len(),
+                "partition {p} journaled events the merge never consumed"
+            );
+        }
+        assert_eq!(global_inflight, 0, "merged run left requests in flight");
+
+        // --- Graft final hardware state ---------------------------------
+        let mut events_processed = 0;
+        let mut peak_pending = 0;
+        for (p, part) in parts.iter_mut().enumerate() {
+            let (lo, hi) = ranges[p];
+            for a in lo..hi {
+                let ai = a as usize;
+                std::mem::swap(&mut self.channels[ai], &mut part.channels[ai]);
+                if !self.caches.is_empty() {
+                    std::mem::swap(&mut self.caches[ai], &mut part.caches[ai]);
+                }
+                if !self.spools.is_empty() {
+                    std::mem::swap(&mut self.spools[ai], &mut part.spools[ai]);
+                }
+            }
+            for g in (lo * self.dpa)..(hi * self.dpa) {
+                let gi = g as usize;
+                std::mem::swap(&mut self.disks[gi], &mut part.disks[gi]);
+                self.disk_counts.add(gi, part.disk_counts.counts()[gi]);
+            }
+            self.disk_ops += part.disk_ops;
+            self.buffer_waits += part.buffer_waits;
+            self.spool_stalls += part.spool_stalls;
+            events_processed += part.events_processed;
+            peak_pending = peak_pending.max(part.peak_pending);
+        }
+        // Fault counters live with the partition that owned the failure
+        // (only it aborted, re-planned, or rebuilt anything); the per-window
+        // response accumulators were already replayed above.
+        if let Some(dst) = self.fault.as_mut() {
+            let src = parts
+                .iter()
+                .filter_map(|p| p.fault.as_ref())
+                .find(|f| f.failed_at.is_some());
+            if let Some(f) = src {
+                dst.failed_at = f.failed_at;
+                dst.healthy_at = f.healthy_at;
+                dst.rebuild_started = f.rebuild_started;
+                dst.rebuild_done = f.rebuild_done;
+                dst.rebuild_active = f.rebuild_active;
+                dst.rebuild_cursor = f.rebuild_cursor;
+                dst.step_started = f.step_started;
+                dst.rebuild_blocks = f.rebuild_blocks;
+                dst.transient_errors = f.transient_errors;
+                dst.retries = f.retries;
+                dst.escalations = f.escalations;
+                dst.ops_aborted = f.ops_aborted;
+                dst.ops_replayed = f.ops_replayed;
+                dst.writes_written_through = f.writes_written_through;
+            }
+        }
+        self.engine.fast_forward(last_time);
+        let stats = RunStats {
+            events_processed,
+            peak_pending,
+        };
+        (self.report(), stats)
+    }
+
+    /// Replay one journaled statistics push — the same sequence of
+    /// accumulator operations `finalize_request` / `try_start` performed,
+    /// with the same operands, now in merged order.
+    fn apply_push(&mut self, push: &StatPush) {
+        match *push {
+            StatPush::Complete {
+                ms,
+                is_read,
+                window,
+                ref phase,
+            } => {
+                self.resp_all.push(ms);
+                self.hist.record(ms);
+                self.completed += 1;
+                if let Some(f) = self.fault.as_mut() {
+                    match window {
+                        0 => f.resp_healthy.push(ms),
+                        1 => f.resp_degraded.push(ms),
+                        _ => f.resp_rebuilding.push(ms),
+                    }
+                }
+                if is_read {
+                    self.resp_reads.push(ms);
+                    self.completed_reads += 1;
+                    self.phase_reads.push(phase);
+                } else {
+                    self.resp_writes.push(ms);
+                    self.completed_writes += 1;
+                    self.phase_writes.push(phase);
+                }
+            }
+            StatPush::QDepth(depths) => {
+                for (i, &d) in depths.iter().enumerate() {
+                    self.sched_qdepth[i].push(d);
+                }
+            }
+            StatPush::Seek(d) => self.sched_seek_cyl.push(d),
+        }
+    }
+}
+
+/// Split `arrays` into `nparts` contiguous, maximally balanced ranges.
+fn partition_ranges(arrays: u32, nparts: usize) -> Vec<(u32, u32)> {
+    let nparts = nparts as u32;
+    let base = arrays / nparts;
+    let rem = arrays % nparts;
+    let mut out = Vec::with_capacity(nparts as usize);
+    let mut lo = 0;
+    for i in 0..nparts {
+        let hi = lo + base + u32::from(i < rem);
+        out.push((lo, hi));
+        lo = hi;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::partition_ranges;
+
+    #[test]
+    fn ranges_cover_everything_contiguously() {
+        for arrays in 1..40u32 {
+            for nparts in 1..=arrays as usize {
+                let r = partition_ranges(arrays, nparts);
+                assert_eq!(r.len(), nparts);
+                assert_eq!(r[0].0, 0);
+                assert_eq!(r.last().unwrap().1, arrays);
+                for w in r.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "gap between partitions");
+                }
+                let sizes: Vec<u32> = r.iter().map(|&(lo, hi)| hi - lo).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "unbalanced split: {sizes:?}");
+            }
+        }
+    }
+}

@@ -311,12 +311,12 @@ impl<'t> Simulator<'t> {
                                 parity_band,
                                 Some(job),
                             );
-                            self.jobs.get_mut(job).pending_parity.push(t);
+                            self.jobs.pending_parity[job as usize].push(t);
                         }
                         if stripe.extra_reads.is_empty() {
                             // Parity computable from new data alone.
                             let pending =
-                                std::mem::take(&mut self.jobs.get_mut(job).pending_parity);
+                                std::mem::take(&mut self.jobs.pending_parity[job as usize]);
                             immediate.extend(pending);
                         }
                         for r in &stripe.extra_reads {
@@ -390,7 +390,7 @@ impl<'t> Simulator<'t> {
                                 if rule == EnqueueRule::AlreadyIssued {
                                     immediate.push(t);
                                 } else {
-                                    self.jobs.get_mut(j).pending_parity.push(t);
+                                    self.jobs.pending_parity[j as usize].push(t);
                                 }
                             }
                         }

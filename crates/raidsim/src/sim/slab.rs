@@ -65,10 +65,6 @@ impl<T> Slab<T> {
     pub fn len(&self) -> usize {
         self.live
     }
-
-    pub fn is_empty(&self) -> bool {
-        self.live == 0
-    }
 }
 
 #[cfg(test)]

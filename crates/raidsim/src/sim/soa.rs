@@ -1,0 +1,282 @@
+//! Struct-of-arrays slabs for the two hottest entity kinds.
+//!
+//! [`DiskOp`] and [`ParityJob`] are touched on every dispatch, completion,
+//! and parity hand-off, but almost every touch reads or writes just one or
+//! two fields (`gdisk`/`band` on enqueue, `refs` on release, `ready` on
+//! feed). Laid out array-of-structs, each such touch drags the whole ~100
+//! byte record through the cache; split per field, the hot columns pack
+//! 8–16 entries per cache line and the cold ones (`marks`, `transfer_ns`)
+//! stay untouched until completion. The AoS structs survive as transport
+//! records: `insert` scatters one into the columns, `remove` gathers it
+//! back for the completion paths that genuinely need every field.
+//!
+//! Indices keep the old slab discipline: `u32` tokens, free-list reuse,
+//! loud panics on double free. Columns are `pub(super)` so the sim layers
+//! index exactly the fields they need (`ops.band[t]`), which is the whole
+//! point — an accessor returning a full record would re-gather the row.
+
+use super::{DiskOp, ParityJob};
+
+/// SoA slab of in-flight disk operations.
+#[derive(Clone, Debug, Default)]
+pub(super) struct OpSlab {
+    pub(super) role: Vec<super::OpRole>,
+    pub(super) req: Vec<Option<u32>>,
+    pub(super) job: Vec<Option<u32>>,
+    pub(super) dgroup: Vec<Option<u32>>,
+    pub(super) gdisk: Vec<u32>,
+    pub(super) block: Vec<u64>,
+    pub(super) nblocks: Vec<u32>,
+    pub(super) kind: Vec<diskmodel::AccessKind>,
+    pub(super) band: Vec<diskmodel::Band>,
+    pub(super) feeds: Vec<bool>,
+    pub(super) read_end: Vec<simkit::SimTime>,
+    pub(super) transfer_ns: Vec<u64>,
+    pub(super) attempts: Vec<u32>,
+    pub(super) marks: Vec<super::OpMarks>,
+    occupied: Vec<bool>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl OpSlab {
+    pub(super) fn with_capacity(cap: usize) -> OpSlab {
+        OpSlab {
+            role: Vec::with_capacity(cap),
+            req: Vec::with_capacity(cap),
+            job: Vec::with_capacity(cap),
+            dgroup: Vec::with_capacity(cap),
+            gdisk: Vec::with_capacity(cap),
+            block: Vec::with_capacity(cap),
+            nblocks: Vec::with_capacity(cap),
+            kind: Vec::with_capacity(cap),
+            band: Vec::with_capacity(cap),
+            feeds: Vec::with_capacity(cap),
+            read_end: Vec::with_capacity(cap),
+            transfer_ns: Vec::with_capacity(cap),
+            attempts: Vec::with_capacity(cap),
+            marks: Vec::with_capacity(cap),
+            occupied: Vec::with_capacity(cap),
+            free: Vec::with_capacity(cap),
+            live: 0,
+        }
+    }
+
+    /// Scatter one op into the columns, reusing a freed row if available.
+    pub(super) fn insert(&mut self, op: DiskOp) -> u32 {
+        self.live += 1;
+        if let Some(i) = self.free.pop() {
+            let r = i as usize;
+            self.role[r] = op.role;
+            self.req[r] = op.req;
+            self.job[r] = op.job;
+            self.dgroup[r] = op.dgroup;
+            self.gdisk[r] = op.gdisk;
+            self.block[r] = op.block;
+            self.nblocks[r] = op.nblocks;
+            self.kind[r] = op.kind;
+            self.band[r] = op.band;
+            self.feeds[r] = op.feeds;
+            self.read_end[r] = op.read_end;
+            self.transfer_ns[r] = op.transfer_ns;
+            self.attempts[r] = op.attempts;
+            self.marks[r] = op.marks;
+            self.occupied[r] = true;
+            i
+        } else {
+            self.role.push(op.role);
+            self.req.push(op.req);
+            self.job.push(op.job);
+            self.dgroup.push(op.dgroup);
+            self.gdisk.push(op.gdisk);
+            self.block.push(op.block);
+            self.nblocks.push(op.nblocks);
+            self.kind.push(op.kind);
+            self.band.push(op.band);
+            self.feeds.push(op.feeds);
+            self.read_end.push(op.read_end);
+            self.transfer_ns.push(op.transfer_ns);
+            self.attempts.push(op.attempts);
+            self.marks.push(op.marks);
+            self.occupied.push(true);
+            (self.occupied.len() - 1) as u32
+        }
+    }
+
+    /// Gather the full record back out and free the row — the completion
+    /// and abort paths read most fields anyway.
+    pub(super) fn remove(&mut self, i: u32) -> DiskOp {
+        let r = i as usize;
+        // A double free means two completions for one entity — a
+        // correctness bug that must stop the run.
+        assert!(self.occupied[r], "double free");
+        self.occupied[r] = false;
+        self.free.push(i);
+        self.live -= 1;
+        DiskOp {
+            role: self.role[r],
+            req: self.req[r],
+            job: self.job[r],
+            dgroup: self.dgroup[r],
+            gdisk: self.gdisk[r],
+            block: self.block[r],
+            nblocks: self.nblocks[r],
+            kind: self.kind[r],
+            band: self.band[r],
+            feeds: self.feeds[r],
+            read_end: self.read_end[r],
+            transfer_ns: self.transfer_ns[r],
+            attempts: self.attempts[r],
+            marks: self.marks[r],
+        }
+    }
+
+    pub(super) fn len(&self) -> usize {
+        self.live
+    }
+}
+
+/// SoA slab of open parity jobs.
+#[derive(Clone, Debug, Default)]
+pub(super) struct JobSlab {
+    pub(super) data_not_started: Vec<u32>,
+    pub(super) ready: Vec<simkit::SimTime>,
+    pub(super) pending_parity: Vec<Vec<u32>>,
+    pub(super) rule: Vec<super::EnqueueRule>,
+    pub(super) refs: Vec<u32>,
+    occupied: Vec<bool>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl JobSlab {
+    pub(super) fn with_capacity(cap: usize) -> JobSlab {
+        JobSlab {
+            data_not_started: Vec::with_capacity(cap),
+            ready: Vec::with_capacity(cap),
+            pending_parity: Vec::with_capacity(cap),
+            rule: Vec::with_capacity(cap),
+            refs: Vec::with_capacity(cap),
+            occupied: Vec::with_capacity(cap),
+            free: Vec::with_capacity(cap),
+            live: 0,
+        }
+    }
+
+    pub(super) fn insert(&mut self, job: ParityJob) -> u32 {
+        self.live += 1;
+        if let Some(i) = self.free.pop() {
+            let r = i as usize;
+            self.data_not_started[r] = job.data_not_started;
+            self.ready[r] = job.ready;
+            self.pending_parity[r] = job.pending_parity;
+            self.rule[r] = job.rule;
+            self.refs[r] = job.refs;
+            self.occupied[r] = true;
+            i
+        } else {
+            self.data_not_started.push(job.data_not_started);
+            self.ready.push(job.ready);
+            self.pending_parity.push(job.pending_parity);
+            self.rule.push(job.rule);
+            self.refs.push(job.refs);
+            self.occupied.push(true);
+            (self.occupied.len() - 1) as u32
+        }
+    }
+
+    pub(super) fn remove(&mut self, i: u32) {
+        let r = i as usize;
+        // A double free means two completions for one entity — a
+        // correctness bug that must stop the run.
+        assert!(self.occupied[r], "double free");
+        self.occupied[r] = false;
+        // Drop the pending list's backing storage now; the row may idle on
+        // the free list for the rest of the run.
+        self.pending_parity[r] = Vec::new();
+        self.free.push(i);
+        self.live -= 1;
+    }
+
+    pub(super) fn len(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{DiskOp, OpMarks, OpRole, ParityJob};
+    use super::*;
+    use diskmodel::{AccessKind, Band};
+    use simkit::SimTime;
+
+    fn op(gdisk: u32) -> DiskOp {
+        DiskOp {
+            role: OpRole::HostRead,
+            req: Some(7),
+            job: None,
+            dgroup: None,
+            gdisk,
+            block: 42,
+            nblocks: 4,
+            kind: AccessKind::Read,
+            band: Band::Normal,
+            feeds: false,
+            read_end: SimTime::ZERO,
+            transfer_ns: 0,
+            attempts: 0,
+            marks: OpMarks::default(),
+        }
+    }
+
+    #[test]
+    fn scatter_gather_round_trips_and_reuses_rows() {
+        let mut s = OpSlab::with_capacity(2);
+        let a = s.insert(op(3));
+        let b = s.insert(op(9));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.gdisk[a as usize], 3);
+        s.band[b as usize] = Band::Background;
+        let got = s.remove(a);
+        assert_eq!((got.gdisk, got.req), (3, Some(7)));
+        let c = s.insert(op(11));
+        assert_eq!(c, a, "row reused");
+        assert_eq!(s.gdisk[c as usize], 11);
+        assert_eq!(s.band[b as usize], Band::Background);
+        assert_eq!(s.req[b as usize], Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn op_double_free_panics() {
+        let mut s = OpSlab::with_capacity(1);
+        let a = s.insert(op(0));
+        s.remove(a);
+        s.remove(a);
+    }
+
+    #[test]
+    fn job_rows_reuse_and_release_pending_storage() {
+        let mut s = JobSlab::with_capacity(1);
+        let j = s.insert(ParityJob {
+            data_not_started: 2,
+            ready: SimTime::ZERO,
+            pending_parity: vec![1, 2, 3],
+            rule: super::super::EnqueueRule::AtReady,
+            refs: 3,
+        });
+        s.refs[j as usize] -= 1;
+        assert_eq!(s.refs[j as usize], 2);
+        s.remove(j);
+        assert_eq!(s.len(), 0);
+        let k = s.insert(ParityJob {
+            data_not_started: 0,
+            ready: SimTime::ZERO,
+            pending_parity: Vec::new(),
+            rule: super::super::EnqueueRule::AlreadyIssued,
+            refs: 1,
+        });
+        assert_eq!(k, j, "row reused");
+        assert!(s.pending_parity[k as usize].is_empty());
+    }
+}

@@ -31,10 +31,14 @@ impl<'a> NamedRun<'a> {
 /// Run every sweep point, `threads`-wide, returning reports in input order.
 /// `threads = 0` uses the machine's available parallelism.
 ///
-/// A point whose configuration fails [`Simulator::try_new`] yields
-/// `Err(message)` in its result slot instead of poisoning the whole sweep:
-/// one bad grid corner (say, a striping unit that doesn't divide the disk)
-/// must not discard the other N−1 finished simulations.
+/// A point whose configuration fails [`Simulator::try_new`] — or whose
+/// simulation panics outright (say, a malformed trace indexing past the
+/// array) — yields `Err(message)` in its result slot instead of poisoning
+/// the whole sweep: one bad grid corner must not discard the other N−1
+/// finished simulations. Before the per-point `catch_unwind`, a panicking
+/// point killed its whole worker: the worker's already-finished local
+/// results were dropped, and the join re-raised the panic so *every* point
+/// of the sweep was lost.
 ///
 /// Work distribution is a work-stealing loop over an atomic next-index
 /// cursor: each worker repeatedly claims the lowest unclaimed run. Unlike
@@ -72,8 +76,19 @@ pub fn run_all(runs: &[NamedRun<'_>], threads: usize) -> Vec<(String, Result<Sim
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(run) = runs.get(i) else { break };
-                        let report =
-                            Simulator::try_new(run.config.clone(), run.trace).map(|s| s.run());
+                        // Contain a panicking point to its own result slot;
+                        // the worker lives on to claim the remaining points.
+                        let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            Simulator::try_new(run.config.clone(), run.trace).map(|s| s.run())
+                        }))
+                        .unwrap_or_else(|payload| {
+                            let msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "opaque panic payload".into());
+                            Err(format!("simulation panicked: {msg}"))
+                        });
                         local.push((i, (run.label.clone(), report)));
                     }
                     local
@@ -181,6 +196,56 @@ mod tests {
         let out = run_all(&runs, 0);
         assert_eq!(out.len(), 1);
         assert!(out[0].1.as_ref().unwrap().requests_completed > 0);
+    }
+
+    /// Regression (panic mid-sweep): a point that panics *inside the
+    /// simulation* — not a clean `try_new` error — must neither strand the
+    /// points still queued behind it nor discard the points already
+    /// finished. Pre-fix, the panic killed its worker and the join
+    /// re-raised it, so the whole sweep was lost; at 1 thread literally
+    /// every other result vanished.
+    #[test]
+    fn panicking_point_does_not_strand_or_double_claim_points() {
+        let good = SynthSpec::trace2().scaled(0.005).generate();
+        // A malformed trace: a record addressing a logical disk far outside
+        // the configured database panics inside the event loop.
+        let mut poison = SynthSpec::trace2().scaled(0.005).generate();
+        poison.records[0].disk = poison.n_disks * 100;
+        let cfg = || SimConfig::with_organization(Organization::Base);
+
+        let runs = vec![
+            NamedRun::new("ok-0", cfg(), &good),
+            NamedRun::new("ok-1", cfg(), &good),
+            NamedRun::new("poisoned", cfg(), &poison),
+            NamedRun::new("ok-2", cfg(), &good),
+            NamedRun::new("ok-3", cfg(), &good),
+        ];
+        // Quiet the default panic hook for the intentional panic, then
+        // restore it so genuine failures still print.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let serial = Simulator::new(cfg(), &good).run().requests_completed;
+        for threads in [1, 3, 16] {
+            let out = run_all(&runs, threads);
+            assert_eq!(out.len(), runs.len(), "lost points at {threads} threads");
+            for (i, (label, result)) in out.iter().enumerate() {
+                assert_eq!(label, &runs[i].label, "order broken at {threads} threads");
+                if label == "poisoned" {
+                    let err = result.as_ref().unwrap_err();
+                    assert!(
+                        err.contains("panicked"),
+                        "poisoned point must report its panic, got: {err}"
+                    );
+                } else {
+                    assert_eq!(
+                        result.as_ref().unwrap().requests_completed,
+                        serial,
+                        "{label} diverged at {threads} threads"
+                    );
+                }
+            }
+        }
+        std::panic::set_hook(hook);
     }
 
     /// One invalid grid point must not poison the sweep: the bad point

@@ -4,7 +4,7 @@
 //! because the trace-driven simulation is exactly reproducible: the same
 //! trace and seed must yield the same figures. The Rust compiler cannot
 //! enforce that, so this tool does. It walks every `.rs` file in the
-//! sim-core crates and checks six domain invariants:
+//! sim-core crates and checks seven domain invariants:
 //!
 //! 1. **`hash-collection`** — no `std::collections::HashMap`/`HashSet`:
 //!    their iteration order is randomized per process, so any result that
@@ -31,6 +31,15 @@
 //!    else must go through the `OrgPlanner`/`DiskScheduler` traits, so a
 //!    new organization or discipline is one new impl — not a sweep for
 //!    stray `match` arms.
+//! 7. **`par-safety`** — no shared mutable state across group partitions:
+//!    synchronization primitives (`Mutex`, `RwLock`, `Condvar`, atomics,
+//!    `mpsc` channels, `static mut`, `unsafe impl`, `thread::spawn`/
+//!    `thread::scope`) appear only in the partition/merge layer
+//!    (`raidsim/src/sim/par.rs`) and the sweep work-stealing pool
+//!    (`raidsim/src/sweep.rs`). Partitions communicate exclusively
+//!    through the journals the merge replays — anything else would let
+//!    scheduling races reach the statistics and break byte-identical
+//!    replay.
 //!
 //! A site can opt out with a justified annotation on the same line or the
 //! line directly above:
@@ -58,7 +67,7 @@ use std::path::{Path, PathBuf};
 // Rules
 // ---------------------------------------------------------------------------
 
-/// The six determinism/architecture invariants, plus the two meta-rules
+/// The seven determinism/architecture invariants, plus the two meta-rules
 /// about the escape-hatch annotations themselves.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
@@ -68,17 +77,19 @@ pub enum Rule {
     PanicPolicy,
     FaultRng,
     SchedulerSeam,
+    ParSafety,
     MalformedAllow,
     UnusedAllow,
 }
 
-pub const RULES: [Rule; 8] = [
+pub const RULES: [Rule; 9] = [
     Rule::HashCollection,
     Rule::AmbientNondet,
     Rule::RawTimeCast,
     Rule::PanicPolicy,
     Rule::FaultRng,
     Rule::SchedulerSeam,
+    Rule::ParSafety,
     Rule::MalformedAllow,
     Rule::UnusedAllow,
 ];
@@ -92,6 +103,7 @@ impl Rule {
             Rule::PanicPolicy => "panic-policy",
             Rule::FaultRng => "fault-rng",
             Rule::SchedulerSeam => "scheduler-seam",
+            Rule::ParSafety => "par-safety",
             Rule::MalformedAllow => "malformed-allow",
             Rule::UnusedAllow => "unused-allow",
         }
@@ -127,6 +139,13 @@ impl Rule {
                 "dispatch through the layer traits: implement DiskScheduler in \
                  crates/diskmodel, and match Organization:: only in raidsim's config, \
                  report, mapping, or sim/planning modules (add an OrgPlanner method instead)"
+            }
+            Rule::ParSafety => {
+                "group partitions must not share mutable state: synchronization primitives \
+                 (Mutex/RwLock/Condvar, atomics, mpsc, static mut, unsafe impl, \
+                 thread::spawn/scope) live only in raidsim's sim/par.rs merge layer and \
+                 the sweep.rs work-stealing pool; everything else communicates through \
+                 the replayed journals"
             }
             Rule::MalformedAllow => {
                 "write `// simlint::allow(<rule>): <reason>` — the rule must exist and the \
@@ -688,6 +707,14 @@ fn is_scheduler_boundary(path: &str) -> bool {
     path.replace('\\', "/").contains("diskmodel/src")
 }
 
+/// May this file own cross-thread shared state? The partition/merge layer
+/// (`raidsim::sim::par`) and the sweep work-stealing pool are the only
+/// sanctioned homes of synchronization primitives in sim-core.
+fn is_par_boundary(path: &str) -> bool {
+    let norm = path.replace('\\', "/");
+    norm.ends_with("raidsim/src/sim/par.rs") || norm.ends_with("raidsim/src/sweep.rs")
+}
+
 // ---------------------------------------------------------------------------
 // Rule matching
 // ---------------------------------------------------------------------------
@@ -771,6 +798,34 @@ pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
                 }
                 Some("Organization") if !is_org_boundary(path) && path_sep(i + 1) => {
                     raw.push((Rule::SchedulerSeam, toks[i].line, toks[i].col));
+                }
+                Some("Mutex" | "RwLock" | "Condvar" | "mpsc") if !is_par_boundary(path) => {
+                    raw.push((Rule::ParSafety, toks[i].line, toks[i].col));
+                }
+                Some(id) if !is_par_boundary(path) && id.starts_with("Atomic") => {
+                    raw.push((Rule::ParSafety, toks[i].line, toks[i].col));
+                }
+                Some("static")
+                    if !is_par_boundary(path)
+                        && toks.get(i + 1).and_then(|t| t.ident()) == Some("mut") =>
+                {
+                    raw.push((Rule::ParSafety, toks[i].line, toks[i].col));
+                }
+                Some("unsafe")
+                    if !is_par_boundary(path)
+                        && toks.get(i + 1).and_then(|t| t.ident()) == Some("impl") =>
+                {
+                    raw.push((Rule::ParSafety, toks[i].line, toks[i].col));
+                }
+                Some("thread")
+                    if !is_par_boundary(path)
+                        && path_sep(i + 1)
+                        && matches!(
+                            toks.get(i + 3).and_then(|t| t.ident()),
+                            Some("spawn" | "scope")
+                        ) =>
+                {
+                    raw.push((Rule::ParSafety, toks[i].line, toks[i].col));
                 }
                 Some("DiskScheduler")
                     if !is_scheduler_boundary(path)
@@ -1075,6 +1130,34 @@ mod tests {
             "use diskmodel::DiskScheduler;\nfn g<T: DiskScheduler>(q: &T) -> usize { q.len() }\n",
             &Config::default(),
         );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn flags_shared_state_outside_the_partition_layer() {
+        let src = "use std::sync::{Mutex, mpsc};\nuse std::sync::atomic::AtomicU64;\n\
+                   static mut COUNT: u64 = 0;\nfn f() { std::thread::spawn(|| {}); }\n\
+                   struct S;\nunsafe impl Sync for S {}\n";
+        let d = analyze_source(
+            "crates/raidsim/src/sim/dispatch.rs",
+            src,
+            &Config::default(),
+        );
+        assert_eq!(d.len(), 6, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == Rule::ParSafety));
+        // The partition/merge layer and the sweep pool are the sanctioned
+        // homes of synchronization.
+        for path in [
+            "crates/raidsim/src/sim/par.rs",
+            "crates/raidsim/src/sweep.rs",
+        ] {
+            assert!(
+                analyze_source(path, src, &Config::default()).is_empty(),
+                "{path} must be allowed to synchronize"
+            );
+        }
+        // `&'static mut` never fires: the lifetime is not the keyword.
+        let d = lint("fn g(x: &'static mut u32) -> u32 { *x }\n");
         assert!(d.is_empty(), "{d:?}");
     }
 

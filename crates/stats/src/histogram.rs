@@ -37,13 +37,28 @@ impl Histogram {
     /// (`(value / width) as usize` silently maps NaN to bin 0): they are
     /// counted in `invalid()` and excluded from `count()` and quantiles, in
     /// release builds as well as debug.
+    ///
+    /// Bin edges are the products `idx × bin_width` evaluated in f64: a value
+    /// equal to an edge opens the bin above it. Division alone misclassifies
+    /// such values when `bin_width` is not a power of two (`0.3 / 0.1` is
+    /// `2.999…`, yet `0.3 < 3 × 0.1`), so the quotient is snapped to the
+    /// canonical edges after the cast. `u64::MAX`-adjacent and infinite
+    /// values saturate into the overflow bucket.
     #[inline]
     pub fn record(&mut self, value: f64) {
         if value.is_nan() || value < 0.0 {
             self.invalid += 1;
             return;
         }
-        let idx = (value / self.bin_width) as usize;
+        // The f64→usize cast saturates, so ±huge and +∞ land in overflow.
+        let mut idx = (value / self.bin_width) as usize;
+        if idx <= self.counts.len() {
+            if (idx + 1) as f64 * self.bin_width <= value {
+                idx += 1;
+            } else if idx as f64 * self.bin_width > value {
+                idx = idx.saturating_sub(1);
+            }
+        }
         if idx < self.counts.len() {
             self.counts[idx] += 1;
         } else {
@@ -189,6 +204,60 @@ mod tests {
         assert_eq!(h.overflow(), 1);
     }
 
+    /// Regression: with the 0.1 ms response-time width, plain division
+    /// misclassifies values that sit exactly on (or one ulp below) a float
+    /// bin edge. `1.7` is strictly below `17 × 0.1` yet `1.7 / 0.1 == 17.0`;
+    /// `4.3` equals `43 × 0.1` yet `4.3 / 0.1` floors to 42. Both directions
+    /// must snap to the canonical product edges.
+    #[test]
+    fn boundary_values_snap_to_canonical_edges() {
+        // 1.7 < 17 × 0.1 (= 1.7000000000000002): belongs in bin 16, whose
+        // upper edge is exactly that product.
+        let mut h = Histogram::new(0.1, 100);
+        h.record(1.7);
+        assert_eq!(
+            h.quantile(1.0),
+            17.0 * 0.1,
+            "1.7 must land below the 17×0.1 edge"
+        );
+        // 4.3 == 43 × 0.1 exactly: an edge opens the bin above it, so the
+        // upper edge reported is 44 × 0.1, not 43 × 0.1.
+        let mut h = Histogram::new(0.1, 100);
+        h.record(4.3);
+        assert_eq!(h.quantile(1.0), 44.0 * 0.1, "4.3 opens bin 43");
+    }
+
+    /// The snap must also govern the in-range/overflow boundary: one ulp
+    /// below the float top edge stays in the last bin; the edge overflows.
+    #[test]
+    fn boundary_snap_at_overflow_threshold() {
+        // 1.7 with 17 bins of 0.1: top edge is 17 × 0.1 = 1.7000000000000002,
+        // and 1.7 / 0.1 == 17.0 would overflow without the snap.
+        let mut h = Histogram::new(0.1, 17);
+        h.record(1.7);
+        assert_eq!(h.overflow(), 0, "1.7 is below the 17×0.1 top edge");
+        // 4.3 with 43 bins: 4.3 == 43 × 0.1 is the exact top edge and must
+        // overflow even though division floors to 42.
+        let mut h = Histogram::new(0.1, 43);
+        h.record(4.3);
+        assert_eq!(h.overflow(), 1, "the exact top edge overflows");
+    }
+
+    /// `u64::MAX`-adjacent durations (and worse) must deterministically land
+    /// in the overflow bucket rather than wrapping or panicking.
+    #[test]
+    fn huge_durations_overflow_deterministically() {
+        let mut h = Histogram::new(0.1, 20_000);
+        h.record(u64::MAX as f64); // a u64::MAX-nanosecond span in ms-ish units
+        h.record(u64::MAX as f64 / 1e6);
+        h.record(f64::MAX);
+        h.record(f64::INFINITY);
+        assert_eq!(h.overflow(), 4);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.invalid(), 0);
+        assert_eq!(h.quantile(1.0), 20_000.0 * 0.1);
+    }
+
     #[test]
     fn merge_carries_invalid_counts() {
         let mut a = Histogram::new(1.0, 10);
@@ -209,6 +278,24 @@ mod tests {
     }
 
     proptest! {
+        /// Every in-range observation satisfies the canonical edge relation
+        /// `idx × w ≤ v < (idx + 1) × w` (edges evaluated as f64 products),
+        /// observed through the quantile upper edge.
+        #[test]
+        fn prop_bin_edges_are_canonical(
+            v in 0.0f64..1000.0,
+            w in proptest::sample::select(vec![0.1f64, 0.3, 0.7, 1.0, 2.2]),
+        ) {
+            let mut h = Histogram::new(w, 1 << 14);
+            h.record(v);
+            if h.overflow() == 0 {
+                let upper = h.quantile(1.0);
+                let idx = (upper / w).round() as usize - 1;
+                prop_assert!(idx as f64 * w <= v, "lower edge above value");
+                prop_assert!(v < (idx + 1) as f64 * w, "value at/above upper edge");
+            }
+        }
+
         /// Histogram quantiles bracket exact sample quantiles to bin width.
         #[test]
         fn prop_quantile_accuracy(

@@ -1,0 +1,167 @@
+//! Parallel-execution fidelity: a partitioned run must be a *perfect*
+//! stand-in for the serial event loop. Not statistically close — byte
+//! identical, for every organization, cache mode, fault scenario, and
+//! thread count, because the determinism guarantee (tests/determinism.rs)
+//! is what makes the paper's organization comparisons meaningful and the
+//! parallel path must not weaken it.
+//!
+//! The serial report string is the ground truth; `run_par` must reproduce
+//! it exactly whether it actually partitioned (multi-array traces) or fell
+//! back (one array, one thread, non-partitionable observability).
+
+use raidsim::{
+    CacheConfig, DiskFailure, FaultConfig, Organization, ParityPlacement, SimConfig, Simulator,
+};
+use tracegen::{SynthSpec, Trace};
+
+fn organizations() -> [Organization; 5] {
+    [
+        Organization::Base,
+        Organization::Mirror,
+        Organization::Raid5 { striping_unit: 1 },
+        Organization::Raid4 { striping_unit: 1 },
+        Organization::ParityStriping {
+            placement: ParityPlacement::Middle,
+        },
+    ]
+}
+
+/// A multi-array workload: Trace 1's 130 disks make 13 arrays of N = 10,
+/// so partitions of 1, 3, and 16 threads all exercise different splits
+/// (16 > 13 must clamp to one array per partition).
+fn multi_array_trace() -> Trace {
+    SynthSpec::trace1().scaled(0.001).generate()
+}
+
+fn config(org: Organization, cached: bool) -> SimConfig {
+    let mut cfg = SimConfig::with_organization(org);
+    if cached {
+        cfg.cache = Some(CacheConfig::default());
+    }
+    cfg.seed = 7;
+    cfg
+}
+
+fn serial_report(cfg: SimConfig, trace: &Trace) -> String {
+    format!("{:#?}", Simulator::new(cfg, trace).run())
+}
+
+/// Run parallel, returning the serialized report and whether the run
+/// actually partitioned (vs. fell back to serial).
+fn par_report(cfg: SimConfig, trace: &Trace, threads: usize) -> (String, bool) {
+    let (report, _, parallel) = Simulator::new(cfg, trace).run_par_instrumented(threads);
+    (format!("{report:#?}"), parallel)
+}
+
+#[test]
+fn parallel_reports_are_byte_identical_to_serial() {
+    let trace = multi_array_trace();
+    for org in organizations() {
+        for cached in [false, true] {
+            let serial = serial_report(config(org, cached), &trace);
+            for threads in [3, 16] {
+                let (par, parallel) = par_report(config(org, cached), &trace, threads);
+                assert!(
+                    parallel,
+                    "{} (cached={cached}): a 13-array run at {threads} threads must partition",
+                    org.label()
+                );
+                assert_eq!(
+                    par,
+                    serial,
+                    "{} (cached={cached}, threads={threads}): parallel report \
+                     diverged from serial",
+                    org.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn one_thread_and_one_array_fall_back_to_serial() {
+    let multi = multi_array_trace();
+    let serial = serial_report(config(Organization::Mirror, true), &multi);
+    let (par, parallel) = par_report(config(Organization::Mirror, true), &multi, 1);
+    assert!(!parallel, "threads=1 must not spawn partitions");
+    assert_eq!(par, serial);
+
+    // Trace 2 is one array of N = 10: nothing to partition.
+    let single = SynthSpec::trace2().scaled(0.02).generate();
+    let serial = serial_report(
+        config(Organization::Raid5 { striping_unit: 1 }, false),
+        &single,
+    );
+    let (par, parallel) = par_report(
+        config(Organization::Raid5 { striping_unit: 1 }, false),
+        &single,
+        8,
+    );
+    assert!(!parallel, "a single-array run must fall back to serial");
+    assert_eq!(par, serial);
+}
+
+/// Observability that reads global state mid-run (the periodic sampler)
+/// cannot partition; the fallback must still produce the same bytes.
+#[test]
+fn sampler_run_falls_back_but_stays_identical() {
+    let trace = multi_array_trace();
+    let sampled = |mut cfg: SimConfig| {
+        cfg.observability.sample_period_ms = Some(500);
+        cfg
+    };
+    let serial = serial_report(sampled(config(Organization::Base, false)), &trace);
+    let (par, parallel) = par_report(sampled(config(Organization::Base, false)), &trace, 3);
+    assert!(
+        !parallel,
+        "a sampled run observes all arrays and must not partition"
+    );
+    assert_eq!(par, serial);
+}
+
+/// A mid-run disk failure with online rebuild is wholly owned by the
+/// failed array's partition: aborts, degraded re-plans, and rebuild
+/// interference must all merge back byte-identically — including the
+/// per-window (healthy/degraded/rebuilding) response accumulators, which
+/// receive pushes from *every* partition in merged order.
+#[test]
+fn fault_injected_parallel_run_matches_serial() {
+    let trace = multi_array_trace();
+    for org in organizations() {
+        if org == Organization::Base {
+            continue; // no redundancy: a failure is not survivable
+        }
+        for cached in [false, true] {
+            let faulted = |mut cfg: SimConfig| {
+                cfg.fault = Some(FaultConfig {
+                    disk_failure: Some(DiskFailure {
+                        array: 1,
+                        disk: 0,
+                        at_ms: 2_000,
+                    }),
+                    spare: true,
+                    rebuild_rate_mbps: 4,
+                    ..FaultConfig::default()
+                });
+                cfg
+            };
+            let serial = serial_report(faulted(config(org, cached)), &trace);
+            for threads in [3, 16] {
+                let (par, parallel) = par_report(faulted(config(org, cached)), &trace, threads);
+                assert!(
+                    parallel,
+                    "{} (cached={cached}): a single injected disk failure is \
+                     partition-local and must not force the serial fallback",
+                    org.label()
+                );
+                assert_eq!(
+                    par,
+                    serial,
+                    "{} (cached={cached}, threads={threads}): fault-injected \
+                     parallel report diverged from serial",
+                    org.label()
+                );
+            }
+        }
+    }
+}

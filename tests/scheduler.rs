@@ -92,10 +92,12 @@ fn fcfs_replay_hashes_match_pre_refactor_baseline() {
     }
 }
 
-/// The fault path (mid-run failure, abort/replan, rebuild) went through
-/// the same seam swap; its baseline hash must hold too.
-#[test]
-fn fcfs_fault_injection_hash_matches_pre_refactor_baseline() {
+/// The mid-run-failure scenario shared by the fault-path tests: a 4-disk
+/// RAID5 array on a tiny 2-cylinder geometry, one disk failing at 1 s,
+/// transient errors sprinkled in. `duration_secs` sets the arrival
+/// density: 8.0 is the leisurely pinned-baseline load, shorter windows
+/// congest the queues so the failure lands while ops are queued.
+fn fault_scenario(discipline: Discipline, duration_secs: f64) -> (Trace, SimConfig) {
     let geometry = diskmodel::DiskGeometry {
         cylinders: 2,
         ..diskmodel::DiskGeometry::default()
@@ -106,14 +108,14 @@ fn fcfs_fault_injection_hash_matches_pre_refactor_baseline() {
         n_disks: 4,
         blocks_per_disk: geometry.blocks_per_disk(),
         n_requests: 400,
-        duration_secs: 8.0,
+        duration_secs,
         ..SynthSpec::trace2()
     }
     .generate();
     let mut cfg = SimConfig::with_organization(Organization::Raid5 { striping_unit: 1 });
     cfg.geometry = geometry;
     cfg.data_disks_per_array = 4;
-    cfg.scheduler = Discipline::Fcfs;
+    cfg.scheduler = discipline;
     cfg.fault = Some(raidsim::FaultConfig {
         disk_failure: Some(raidsim::DiskFailure {
             array: 0,
@@ -123,12 +125,55 @@ fn fcfs_fault_injection_hash_matches_pre_refactor_baseline() {
         transient_error_prob: 0.01,
         ..raidsim::FaultConfig::default()
     });
+    (trace, cfg)
+}
+
+/// The fault path (mid-run failure, abort/replan, rebuild) went through
+/// the same seam swap; its baseline hash must hold too. This hash also
+/// pins the abort *drain* order: `DiskScheduler::drain` aborts FCFS
+/// queues byte-identically to the pop loop it replaced.
+#[test]
+fn fcfs_fault_injection_hash_matches_pre_refactor_baseline() {
+    let (trace, cfg) = fault_scenario(Discipline::Fcfs, 8.0);
     let s = serialized_report(cfg, &trace);
     assert_eq!(
         fnv1a(s.as_bytes()),
         0x3330_de5a_6fc1_b96a,
         "fault-injected FCFS report diverged from the pre-refactor baseline"
     );
+}
+
+/// Abort-drain regression (scheduler contract clause 4): a disk failing
+/// while SSTF/SCAN hold arm-position state must neither lose nor
+/// duplicate the aborted in-flight ops — every traced request still
+/// completes exactly once through the re-plan path — and the run stays a
+/// pure function of its inputs. Pre-fix, the abort path emptied the
+/// failed disk's queue by repeated `pop`s, sweeping the SCAN cursor
+/// through ops that were never serviced; the hot spare inherited that
+/// phantom position for rebuild and re-planned traffic.
+#[test]
+fn fault_during_sstf_and_scan_completes_every_request_deterministically() {
+    for discipline in [Discipline::Sstf, Discipline::Scan] {
+        let (trace, cfg) = fault_scenario(discipline, 1.5);
+        let a = serialized_report(cfg.clone(), &trace);
+        let report = Simulator::new(cfg.clone(), &trace).run();
+        let ctx = discipline.label();
+        assert_eq!(
+            report.requests_completed,
+            trace.len() as u64,
+            "{ctx}: aborted ops lost or double-completed across the failure"
+        );
+        let faults = report
+            .faults
+            .as_ref()
+            .expect("fault config attaches report");
+        assert!(
+            faults.ops_aborted > 0,
+            "{ctx}: the failure must abort queued ops for the drain path to matter"
+        );
+        let b = serialized_report(cfg, &trace);
+        assert_eq!(a, b, "{ctx}: fault-path replay diverged");
+    }
 }
 
 /// SSTF and SCAN reorder within a band but must never lose or duplicate
