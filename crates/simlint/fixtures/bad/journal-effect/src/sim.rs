@@ -1,0 +1,17 @@
+//! Seeded violation: a partition-reachable function mutates a stat
+//! accumulator directly instead of going through the journal sink.
+
+pub fn run_as_partition(s: &mut Sim) {
+    step(s);
+}
+
+fn step(s: &mut Sim) {
+    s.stats.resp_all.push(1.0);
+    s.stats.inflight += 1;
+    finalize_request(s);
+}
+
+fn finalize_request(s: &mut Sim) {
+    s.stats.resp_all.push(2.0);
+    s.note.pushes.push(StatPush::RespAll(2.0));
+}

@@ -1,0 +1,7 @@
+pub fn enqueue_op(s: &mut Sim) {
+    s.queue_depth = s.queue_depth.saturating_add(1);
+}
+
+pub fn on_disk_done(s: &mut Sim) {
+    admit(s);
+}

@@ -1,0 +1,16 @@
+//! Pins a determinism hash (fnv1a), so the relaxed profile lints it:
+//! feeding a nondeterministically-ordered collection into the pinned
+//! hash is exactly the bug the profile exists to catch.
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(0xcbf29ce484222325, |h, &b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
+    })
+}
+
+#[test]
+fn pins_digest() {
+    let mut m = HashMap::new();
+    m.insert(1u32, 2u32);
+    assert_eq!(fnv1a(b"seed"), 0x9b);
+}

@@ -1,0 +1,20 @@
+//! Good twin: every stat effect on the partition path flows through the
+//! declared sink, which both mutates and journals.
+
+pub fn run_as_partition(s: &mut Sim) {
+    step(s);
+}
+
+fn step(s: &mut Sim) {
+    finalize_request(s);
+}
+
+fn finalize_request(s: &mut Sim) {
+    s.stats.resp_all.push(2.0);
+    s.stats.inflight += 1;
+    s.note.pushes.push(StatPush::RespAll(2.0));
+}
+
+fn merge_only(s: &mut Sim) {
+    s.stats.resp_all.push(3.0);
+}

@@ -1,0 +1,3 @@
+pub fn admit(s: &mut Sim) {
+    enqueue_op(s);
+}

@@ -1,0 +1,7 @@
+pub fn enqueue_op(s: &mut Sim) {
+    finalize(s);
+}
+
+pub fn local_retry(s: &mut Sim) {
+    enqueue_op(s);
+}

@@ -1,0 +1,10 @@
+//! Comments mention HashMap and thread_rng, but comment text is not code.
+/* outer /* nested HashMap block comment */ still commented thread_rng */
+
+pub fn demo() -> String {
+    let plain = "// not a comment: HashMap<K, V> and thread_rng()";
+    let raw = r#"raw "string" with // HashMap and simlint::allow(panic-policy): spoofed"#;
+    let hashy = r##"ends with one hash: "# and keeps going"##;
+    let escaped = "quote \" then // HashMap";
+    format!("{plain}{raw}{hashy}{escaped}")
+}

@@ -1,0 +1,300 @@
+//! The hand-rolled lexer every simlint pass runs on.
+//!
+//! `syn` is unavailable in this offline workspace, so analysis works on a
+//! purpose-built token stream: comments, string/char literals, lifetimes,
+//! and numeric literals are stripped exactly (none of them can carry a
+//! violation), while `simlint::allow` directives are harvested out of the
+//! comments. Getting this boundary exactly right is what makes the rules
+//! unspoofable: a `//` inside a string must not start a comment, a
+//! directive inside a string must not suppress anything, and a rule token
+//! inside a raw string must not fire.
+
+/// One lexical token that survives stripping: an identifier/keyword or a
+/// single punctuation character.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Tok {
+    Ident(String),
+    Punct(char),
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Token {
+    pub(crate) tok: Tok,
+    pub(crate) line: u32,
+    pub(crate) col: u32,
+}
+
+impl Token {
+    pub(crate) fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            Tok::Punct(_) => None,
+        }
+    }
+
+    pub(crate) fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+}
+
+/// A `simlint::allow(rule): reason` annotation found in a comment.
+#[derive(Clone, Debug)]
+pub(crate) struct AllowDirective {
+    pub(crate) line: u32,
+    pub(crate) col: u32,
+    pub(crate) rule: Option<crate::Rule>,
+    pub(crate) has_reason: bool,
+    pub(crate) used: bool,
+}
+
+pub(crate) struct Lexed {
+    pub(crate) tokens: Vec<Token>,
+    pub(crate) directives: Vec<AllowDirective>,
+}
+
+/// Tokenize `src`, stripping comments, strings, chars, lifetimes, and
+/// numeric literals — none of which can carry a violation — while
+/// harvesting `simlint::allow` directives out of the comments (line *and*
+/// block comments, so both annotation styles work).
+pub(crate) fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut tokens = Vec::new();
+    let mut directives = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            if b[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Line comment (also harvests allow directives).
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            let start = i;
+            let dline = line;
+            let dcol = col;
+            while i < b.len() && b[i] != '\n' {
+                bump!();
+            }
+            let text: String = b[start..i].iter().collect();
+            if let Some(d) = parse_directive(&text, dline, dcol) {
+                directives.push(d);
+            }
+            continue;
+        }
+        // Block comment, nested. Directives are harvested here too so a
+        // `/* simlint::allow(...) */` annotation is not silently inert.
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            let start = i;
+            let dline = line;
+            let dcol = col;
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    depth += 1;
+                    bump!();
+                    bump!();
+                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                    depth -= 1;
+                    bump!();
+                    bump!();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    bump!();
+                }
+            }
+            let text: String = b[start..i].iter().collect();
+            if let Some(d) = parse_directive(&text, dline, dcol) {
+                directives.push(d);
+            }
+            continue;
+        }
+        // String-ish literals, including raw and byte forms.
+        if c == '"' || c == 'r' || c == 'b' {
+            let (is_str, prefix_len, raw_hashes) = string_prefix(c, &b[i..]);
+            if is_str {
+                for _ in 0..prefix_len {
+                    bump!();
+                }
+                if let Some(h) = raw_hashes {
+                    // Raw string: ends at `"` followed by `h` hashes.
+                    while i < b.len() {
+                        if b[i] == '"'
+                            && b[i + 1..].len() >= h
+                            && b[i + 1..i + 1 + h].iter().all(|&x| x == '#')
+                        {
+                            bump!(); // closing quote
+                            for _ in 0..h {
+                                bump!();
+                            }
+                            break;
+                        }
+                        bump!();
+                    }
+                } else {
+                    // Cooked string: honor escapes.
+                    while i < b.len() {
+                        if b[i] == '\\' && i + 1 < b.len() {
+                            bump!();
+                            bump!();
+                        } else if b[i] == '"' {
+                            bump!();
+                            break;
+                        } else {
+                            bump!();
+                        }
+                    }
+                }
+                continue;
+            }
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = b.get(i + 1).copied();
+            let after = b.get(i + 2).copied();
+            let is_lifetime =
+                matches!(next, Some(n) if n.is_alphabetic() || n == '_') && after != Some('\'');
+            bump!(); // the quote
+            if is_lifetime {
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    bump!();
+                }
+            } else {
+                // Char literal: consume to the closing quote, honoring escapes.
+                while i < b.len() {
+                    if b[i] == '\\' && i + 1 < b.len() {
+                        bump!();
+                        bump!();
+                    } else if b[i] == '\'' {
+                        bump!();
+                        break;
+                    } else {
+                        bump!();
+                    }
+                }
+            }
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let tl = line;
+            let tc = col;
+            let start = i;
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                bump!();
+            }
+            tokens.push(Token {
+                tok: Tok::Ident(b[start..i].iter().collect()),
+                line: tl,
+                col: tc,
+            });
+            continue;
+        }
+        // Numeric literal: swallowed entirely (cannot carry a violation).
+        if c.is_ascii_digit() {
+            while i < b.len()
+                && (b[i].is_alphanumeric()
+                    || b[i] == '_'
+                    || (b[i] == '.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())))
+            {
+                bump!();
+            }
+            continue;
+        }
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        tokens.push(Token {
+            tok: Tok::Punct(c),
+            line,
+            col,
+        });
+        bump!();
+    }
+
+    Lexed { tokens, directives }
+}
+
+/// Classify a possible string-literal start at `tail[0]`: returns
+/// (is_string, prefix chars before the content, Some(hash_count) for raw
+/// strings). `r`/`b` that do not begin a literal (plain identifiers, raw
+/// identifiers like `r#fn`) return `(false, …)` and lex as identifiers.
+fn string_prefix(c: char, tail: &[char]) -> (bool, usize, Option<usize>) {
+    match c {
+        '"' => (true, 1, None),
+        'r' | 'b' => {
+            let mut j = 1;
+            if c == 'b' && tail.get(1) == Some(&'r') {
+                j = 2;
+            } else if c == 'b' && tail.get(1) == Some(&'"') {
+                return (true, 2, None);
+            } else if c == 'b' {
+                return (false, 0, None);
+            }
+            let mut hashes = 0;
+            while tail.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if tail.get(j) == Some(&'"') {
+                (true, j + 1, Some(hashes))
+            } else {
+                (false, 0, None)
+            }
+        }
+        _ => (false, 0, None),
+    }
+}
+
+pub(crate) fn parse_directive(comment: &str, line: u32, col: u32) -> Option<AllowDirective> {
+    let idx = comment.find("simlint::allow")?;
+    let rest = &comment[idx + "simlint::allow".len()..];
+    let rest = rest.trim_start();
+    let Some(stripped) = rest.strip_prefix('(') else {
+        return Some(AllowDirective {
+            line,
+            col,
+            rule: None,
+            has_reason: false,
+            used: false,
+        });
+    };
+    let Some(close) = stripped.find(')') else {
+        return Some(AllowDirective {
+            line,
+            col,
+            rule: None,
+            has_reason: false,
+            used: false,
+        });
+    };
+    let rule = crate::Rule::from_name(stripped[..close].trim());
+    let after = stripped[close + 1..].trim_start();
+    // Block-comment directives may carry a trailing `*/`; it is not part
+    // of the reason.
+    let after = after.strip_suffix("*/").unwrap_or(after);
+    let has_reason = after
+        .strip_prefix(':')
+        .is_some_and(|r| !r.trim().is_empty());
+    Some(AllowDirective {
+        line,
+        col,
+        rule,
+        has_reason,
+        used: false,
+    })
+}

@@ -4,7 +4,8 @@
 //! because the trace-driven simulation is exactly reproducible: the same
 //! trace and seed must yield the same figures. The Rust compiler cannot
 //! enforce that, so this tool does. It walks every `.rs` file in the
-//! sim-core crates and checks seven domain invariants:
+//! sim-core crates and checks ten domain invariants (plus two meta-rules
+//! about the escape hatch itself):
 //!
 //! 1. **`hash-collection`** — no `std::collections::HashMap`/`HashSet`:
 //!    their iteration order is randomized per process, so any result that
@@ -40,6 +41,22 @@
 //!    through the journals the merge replays — anything else would let
 //!    scheduling races reach the statistics and break byte-identical
 //!    replay.
+//! 8. **`unit-safety`** — no `+`/`-` arithmetic that mixes a
+//!    time-suffixed identifier (`*_ns`, `*_us`, `*_ms`, `*time*`) with a
+//!    block/byte/count identifier outside `simkit::time`: adding a
+//!    latency to a block count type-checks (both are `u64`) but is always
+//!    a unit error.
+//! 9. **`journal-effect`** *(workspace pass)* — any function reachable
+//!    from partition execution (`run_as_partition` in `sim/par.rs`) that
+//!    pushes statistics, changes inflight counts, or reschedules destage
+//!    ticks must be one of the journal sinks declared in `simlint.toml`;
+//!    a direct push anywhere else would bypass the ParNote/ExecFrame
+//!    journal and break byte-identical parallel replay.
+//! 10. **`layer-boundary`** *(workspace pass)* — calls between the PR 5
+//!     layer modules must follow the declared admission → planning →
+//!     dispatch → faults → reporting flow; a backward call is layer
+//!     erosion and is flagged at the call site (real feedback edges are
+//!     waived, with reasons, in the committed baseline).
 //!
 //! A site can opt out with a justified annotation on the same line or the
 //! line directly above:
@@ -50,24 +67,41 @@
 //!
 //! An annotation without a reason is itself a diagnostic
 //! (`malformed-allow`), and an annotation that suppresses nothing is
-//! reported as `unused-allow` so stale escapes cannot accumulate.
+//! reported as `unused-allow` so stale escapes cannot accumulate. For
+//! whole findings that are accepted architecture (e.g. the
+//! reporting → admission wakeup), the committed `simlint.baseline.toml`
+//! waives a (rule, file, snippet) triple with a reason; see the
+//! [`baseline`] module.
 //!
 //! `syn` is unavailable in this offline workspace, so the analysis runs on
-//! a purpose-built lexer: comments, string/char literals, and lifetimes
-//! are stripped exactly, `#[cfg(test)]`/`#[test]` items are skipped, and
-//! the rules match on the remaining token stream. That is deliberately
-//! simpler than type resolution — and catches exactly the textual forms
-//! that have bitten simulator reproducibility in practice.
+//! a purpose-built lexer ([`lexer`]): comments, string/char literals, and
+//! lifetimes are stripped exactly, `#[cfg(test)]`/`#[test]` items are
+//! skipped, and the rules match on the remaining token stream. The
+//! workspace rules add a lightweight function/call graph ([`graph`]) over
+//! the same tokens. That is deliberately simpler than type resolution —
+//! and catches exactly the textual forms that have bitten simulator
+//! reproducibility in practice.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod baseline;
+mod graph;
+mod lexer;
+mod rules;
+mod sarif;
+mod toml;
+mod workspace;
+
+pub use sarif::to_sarif;
+pub use workspace::{analyze_workspace, WsConfig};
+
 // ---------------------------------------------------------------------------
 // Rules
 // ---------------------------------------------------------------------------
 
-/// The seven determinism/architecture invariants, plus the two meta-rules
+/// The ten determinism/architecture invariants, plus the two meta-rules
 /// about the escape-hatch annotations themselves.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
@@ -78,11 +112,14 @@ pub enum Rule {
     FaultRng,
     SchedulerSeam,
     ParSafety,
+    UnitSafety,
+    JournalEffect,
+    LayerBoundary,
     MalformedAllow,
     UnusedAllow,
 }
 
-pub const RULES: [Rule; 9] = [
+pub const RULES: [Rule; 12] = [
     Rule::HashCollection,
     Rule::AmbientNondet,
     Rule::RawTimeCast,
@@ -90,6 +127,9 @@ pub const RULES: [Rule; 9] = [
     Rule::FaultRng,
     Rule::SchedulerSeam,
     Rule::ParSafety,
+    Rule::UnitSafety,
+    Rule::JournalEffect,
+    Rule::LayerBoundary,
     Rule::MalformedAllow,
     Rule::UnusedAllow,
 ];
@@ -104,6 +144,9 @@ impl Rule {
             Rule::FaultRng => "fault-rng",
             Rule::SchedulerSeam => "scheduler-seam",
             Rule::ParSafety => "par-safety",
+            Rule::UnitSafety => "unit-safety",
+            Rule::JournalEffect => "journal-effect",
+            Rule::LayerBoundary => "layer-boundary",
             Rule::MalformedAllow => "malformed-allow",
             Rule::UnusedAllow => "unused-allow",
         }
@@ -146,6 +189,23 @@ impl Rule {
                  thread::spawn/scope) live only in raidsim's sim/par.rs merge layer and \
                  the sweep.rs work-stealing pool; everything else communicates through \
                  the replayed journals"
+            }
+            Rule::UnitSafety => {
+                "adding or subtracting a time quantity and a block/byte/count quantity is a \
+                 unit error even though both are plain integers; convert through the \
+                 simkit::time helpers (or rename the identifier if its suffix lies)"
+            }
+            Rule::JournalEffect => {
+                "functions reachable from partition execution must route stat pushes, \
+                 inflight changes, and destage-tick scheduling through the journal sinks \
+                 declared in simlint.toml ([journal-effect] sinks); a direct mutation \
+                 bypasses the ParNote/ExecFrame journal and breaks byte-identical replay"
+            }
+            Rule::LayerBoundary => {
+                "this call goes against the declared layer flow (admission → planning → \
+                 dispatch → faults → reporting in simlint.toml [layer-boundary]); route it \
+                 through the downstream layer's interface, or waive the accepted feedback \
+                 edge in simlint.baseline.toml with a reason"
             }
             Rule::MalformedAllow => {
                 "write `// simlint::allow(<rule>): <reason>` — the rule must exist and the \
@@ -244,7 +304,7 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -286,290 +346,14 @@ pub fn to_json(diags: &[Diagnostic]) -> String {
 }
 
 // ---------------------------------------------------------------------------
-// Lexer
-// ---------------------------------------------------------------------------
-
-#[derive(Clone, Debug, PartialEq, Eq)]
-enum Tok {
-    Ident(String),
-    Punct(char),
-}
-
-#[derive(Clone, Debug)]
-struct Token {
-    tok: Tok,
-    line: u32,
-    col: u32,
-}
-
-impl Token {
-    fn ident(&self) -> Option<&str> {
-        match &self.tok {
-            Tok::Ident(s) => Some(s),
-            Tok::Punct(_) => None,
-        }
-    }
-
-    fn is_punct(&self, c: char) -> bool {
-        self.tok == Tok::Punct(c)
-    }
-}
-
-/// A `simlint::allow(rule): reason` annotation found in a comment.
-#[derive(Clone, Debug)]
-struct AllowDirective {
-    line: u32,
-    col: u32,
-    rule: Option<Rule>,
-    has_reason: bool,
-    used: bool,
-}
-
-struct Lexed {
-    tokens: Vec<Token>,
-    directives: Vec<AllowDirective>,
-}
-
-/// Tokenize `src`, stripping comments, strings, chars, lifetimes, and
-/// numeric literals — none of which can carry a violation — while
-/// harvesting `simlint::allow` directives out of the comments.
-fn lex(src: &str) -> Lexed {
-    let b: Vec<char> = src.chars().collect();
-    let mut tokens = Vec::new();
-    let mut directives = Vec::new();
-    let mut i = 0usize;
-    let mut line: u32 = 1;
-    let mut col: u32 = 1;
-
-    macro_rules! bump {
-        () => {{
-            if b[i] == '\n' {
-                line += 1;
-                col = 1;
-            } else {
-                col += 1;
-            }
-            i += 1;
-        }};
-    }
-
-    while i < b.len() {
-        let c = b[i];
-        // Line comment (also harvests allow directives).
-        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
-            let start = i;
-            let dline = line;
-            let dcol = col;
-            while i < b.len() && b[i] != '\n' {
-                bump!();
-            }
-            let text: String = b[start..i].iter().collect();
-            if let Some(d) = parse_directive(&text, dline, dcol) {
-                directives.push(d);
-            }
-            continue;
-        }
-        // Block comment, nested.
-        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
-            let mut depth = 0usize;
-            while i < b.len() {
-                if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
-                    depth += 1;
-                    bump!();
-                    bump!();
-                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
-                    depth -= 1;
-                    bump!();
-                    bump!();
-                    if depth == 0 {
-                        break;
-                    }
-                } else {
-                    bump!();
-                }
-            }
-            continue;
-        }
-        // String-ish literals, including raw and byte forms.
-        if c == '"' || c == 'r' || c == 'b' {
-            let rest: String = b[i..b.len().min(i + 4)].iter().collect();
-            let (is_str, prefix_len, raw_hashes) = string_prefix(c, &rest, &b[i..]);
-            if is_str {
-                for _ in 0..prefix_len {
-                    bump!();
-                }
-                if let Some(h) = raw_hashes {
-                    // Raw string: ends at `"` followed by `h` hashes.
-                    while i < b.len() {
-                        if b[i] == '"'
-                            && b[i + 1..].iter().take(h).filter(|&&x| x == '#').count() == h
-                        {
-                            bump!(); // closing quote
-                            for _ in 0..h {
-                                bump!();
-                            }
-                            break;
-                        }
-                        bump!();
-                    }
-                } else {
-                    // Cooked string: honor escapes.
-                    while i < b.len() {
-                        if b[i] == '\\' && i + 1 < b.len() {
-                            bump!();
-                            bump!();
-                        } else if b[i] == '"' {
-                            bump!();
-                            break;
-                        } else {
-                            bump!();
-                        }
-                    }
-                }
-                continue;
-            }
-        }
-        // Char literal vs lifetime.
-        if c == '\'' {
-            let next = b.get(i + 1).copied();
-            let after = b.get(i + 2).copied();
-            let is_lifetime =
-                matches!(next, Some(n) if n.is_alphabetic() || n == '_') && after != Some('\'');
-            bump!(); // the quote
-            if is_lifetime {
-                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
-                    bump!();
-                }
-            } else {
-                // Char literal: consume to the closing quote, honoring escapes.
-                while i < b.len() {
-                    if b[i] == '\\' && i + 1 < b.len() {
-                        bump!();
-                        bump!();
-                    } else if b[i] == '\'' {
-                        bump!();
-                        break;
-                    } else {
-                        bump!();
-                    }
-                }
-            }
-            continue;
-        }
-        // Identifier / keyword.
-        if c.is_alphabetic() || c == '_' {
-            let tl = line;
-            let tc = col;
-            let start = i;
-            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
-                bump!();
-            }
-            tokens.push(Token {
-                tok: Tok::Ident(b[start..i].iter().collect()),
-                line: tl,
-                col: tc,
-            });
-            continue;
-        }
-        // Numeric literal: swallowed entirely (cannot carry a violation).
-        if c.is_ascii_digit() {
-            while i < b.len()
-                && (b[i].is_alphanumeric()
-                    || b[i] == '_'
-                    || (b[i] == '.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())))
-            {
-                bump!();
-            }
-            continue;
-        }
-        // Whitespace.
-        if c.is_whitespace() {
-            bump!();
-            continue;
-        }
-        tokens.push(Token {
-            tok: Tok::Punct(c),
-            line,
-            col,
-        });
-        bump!();
-    }
-
-    Lexed { tokens, directives }
-}
-
-/// Classify a possible string-literal start: returns (is_string, prefix
-/// chars before the content, Some(hash_count) for raw strings).
-fn string_prefix(c: char, _rest: &str, tail: &[char]) -> (bool, usize, Option<usize>) {
-    match c {
-        '"' => (true, 1, None),
-        'r' | 'b' => {
-            let mut j = 1;
-            if c == 'b' && tail.get(1) == Some(&'r') {
-                j = 2;
-            } else if c == 'b' && tail.get(1) == Some(&'"') {
-                return (true, 2, None);
-            } else if c == 'b' {
-                return (false, 0, None);
-            }
-            let mut hashes = 0;
-            while tail.get(j) == Some(&'#') {
-                hashes += 1;
-                j += 1;
-            }
-            if tail.get(j) == Some(&'"') {
-                (true, j + 1, Some(hashes))
-            } else {
-                (false, 0, None)
-            }
-        }
-        _ => (false, 0, None),
-    }
-}
-
-fn parse_directive(comment: &str, line: u32, col: u32) -> Option<AllowDirective> {
-    let idx = comment.find("simlint::allow")?;
-    let rest = &comment[idx + "simlint::allow".len()..];
-    let rest = rest.trim_start();
-    let Some(stripped) = rest.strip_prefix('(') else {
-        return Some(AllowDirective {
-            line,
-            col,
-            rule: None,
-            has_reason: false,
-            used: false,
-        });
-    };
-    let Some(close) = stripped.find(')') else {
-        return Some(AllowDirective {
-            line,
-            col,
-            rule: None,
-            has_reason: false,
-            used: false,
-        });
-    };
-    let rule = Rule::from_name(stripped[..close].trim());
-    let after = stripped[close + 1..].trim_start();
-    let has_reason = after
-        .strip_prefix(':')
-        .is_some_and(|r| !r.trim().is_empty());
-    Some(AllowDirective {
-        line,
-        col,
-        rule,
-        has_reason,
-        used: false,
-    })
-}
-
-// ---------------------------------------------------------------------------
 // #[cfg(test)] / #[test] item skipping
 // ---------------------------------------------------------------------------
 
+use lexer::Token;
+
 /// Token-index ranges covered by test-only items (`#[cfg(test)] mod … { }`,
 /// `#[test] fn … { }`), which every rule exempts.
-fn test_item_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+pub(crate) fn test_item_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
     let mut ranges = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
@@ -599,7 +383,12 @@ fn attr_is_test(body: &[Token]) -> bool {
 }
 
 /// Find the index of the punct closing the group opened at `open_idx`.
-fn matching(tokens: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+pub(crate) fn matching(
+    tokens: &[Token],
+    open_idx: usize,
+    open: char,
+    close: char,
+) -> Option<usize> {
     let mut depth = 0usize;
     for (j, t) in tokens.iter().enumerate().skip(open_idx) {
         if t.is_punct(open) {
@@ -651,7 +440,7 @@ fn skip_item(tokens: &[Token], mut i: usize) -> usize {
 // ---------------------------------------------------------------------------
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum FileClass {
+pub(crate) enum FileClass {
     /// Library source: every rule applies.
     Library,
     /// Binary / bench / example / build script: panic-policy exempt.
@@ -660,7 +449,7 @@ enum FileClass {
     Test,
 }
 
-fn classify(path: &str) -> FileClass {
+pub(crate) fn classify(path: &str) -> FileClass {
     let norm = path.replace('\\', "/");
     let file = norm.rsplit('/').next().unwrap_or(&norm);
     let stem = file.strip_suffix(".rs").unwrap_or(file);
@@ -716,7 +505,71 @@ fn is_par_boundary(path: &str) -> bool {
 }
 
 // ---------------------------------------------------------------------------
-// Rule matching
+// Lint profiles & per-file analysis units
+// ---------------------------------------------------------------------------
+
+/// Which rule set a file is held to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Profile {
+    /// Sim-core sources: every rule.
+    Strict,
+    /// `tests/` and `crates/bench`: driver code may use wall clocks and
+    /// unwraps freely, but files that *pin determinism hashes* (detected
+    /// by the `[relaxed] hash_pin_markers` identifiers, e.g. `fnv1a`)
+    /// still must not let hash-collection nondeterminism or non-test
+    /// panics near the pinned values.
+    Relaxed,
+}
+
+/// One lexed source file plus everything the passes need to know about it.
+pub(crate) struct FileUnit {
+    pub(crate) display: String,
+    pub(crate) src: String,
+    pub(crate) lexed: lexer::Lexed,
+    pub(crate) class: FileClass,
+    pub(crate) profile: Profile,
+    pub(crate) test_ranges: Vec<(usize, usize)>,
+}
+
+impl FileUnit {
+    pub(crate) fn new(display: String, src: String, profile: Profile) -> FileUnit {
+        let lexed = lexer::lex(&src);
+        let class = classify(&display);
+        let test_ranges = test_item_ranges(&lexed.tokens);
+        FileUnit {
+            display,
+            src,
+            lexed,
+            class,
+            profile,
+            test_ranges,
+        }
+    }
+
+    pub(crate) fn in_test(&self, idx: usize) -> bool {
+        self.test_ranges.iter().any(|&(s, e)| idx >= s && idx < e)
+    }
+
+    /// Does the file pin determinism hashes (relaxed-profile marker)?
+    fn has_marker(&self, markers: &[String]) -> bool {
+        self.lexed.tokens.iter().any(|t| {
+            t.ident()
+                .is_some_and(|id| markers.iter().any(|m| id.contains(m.as_str())))
+        })
+    }
+}
+
+/// Under this file's profile, does `rule` apply at all? (Orthogonal to the
+/// per-rule [`Config`] levels, which the CLI controls.)
+fn rule_in_profile(rule: Rule, profile: Profile) -> bool {
+    match profile {
+        Profile::Strict => true,
+        Profile::Relaxed => matches!(rule, Rule::HashCollection | Rule::PanicPolicy),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-file rule matching
 // ---------------------------------------------------------------------------
 
 const NUMERIC_TYPES: [&str; 14] = [
@@ -740,132 +593,255 @@ fn env_read(name: &str) -> bool {
     matches!(name, "var" | "var_os" | "vars" | "vars_os")
 }
 
-/// Analyze one source file (given as a string, so unit tests can feed
-/// inline fixtures) and return every diagnostic whose rule is not allowed.
-pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
-    let class = classify(path);
-    let mut lexed = lex(src);
-    let lines: Vec<&str> = src.lines().collect();
-    let mut raw: Vec<(Rule, u32, u32)> = Vec::new();
+/// Unit class of an identifier for the `unit-safety` rule, decided by its
+/// `_`-separated segments against the configured unit vocabularies.
+/// Ambiguous names (segments from both classes) classify as neither.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum UnitClass {
+    Time,
+    Quantity,
+}
 
-    if class != FileClass::Test {
-        let skip = test_item_ranges(&lexed.tokens);
-        let in_test = |idx: usize| skip.iter().any(|&(s, e)| idx >= s && idx < e);
-        let toks = &lexed.tokens;
+fn unit_class(ident: &str, ws: &WsConfig) -> Option<UnitClass> {
+    let mut time = false;
+    let mut qty = false;
+    for seg in ident.split('_') {
+        let seg = seg.to_ascii_lowercase();
+        if ws.units.time_units.contains(&seg) || seg.contains("time") {
+            time = true;
+        }
+        if ws.units.quantity_units.contains(&seg) {
+            qty = true;
+        }
+    }
+    match (time, qty) {
+        (true, false) => Some(UnitClass::Time),
+        (false, true) => Some(UnitClass::Quantity),
+        _ => None,
+    }
+}
 
-        for i in 0..toks.len() {
-            if in_test(i) {
-                continue;
+/// A rule match before directive suppression: (rule, line, col).
+pub(crate) type RawMatch = (Rule, u32, u32);
+
+/// Run every per-file rule over one unit. Under the relaxed profile only
+/// hash-collection and panic-policy apply, and only in files that pin
+/// determinism hashes; hash-collection stays live even inside `#[test]`
+/// items there (a nondeterministic collection feeding a pinned hash is the
+/// exact bug the profile exists to catch), while panic-policy keeps the
+/// usual test-item exemption.
+pub(crate) fn per_file_matches(unit: &FileUnit, ws: &WsConfig) -> Vec<RawMatch> {
+    let relaxed = unit.profile == Profile::Relaxed;
+    let class = if relaxed {
+        if unit.has_marker(&ws.hash_pin_markers) {
+            FileClass::Library
+        } else {
+            return Vec::new();
+        }
+    } else {
+        unit.class
+    };
+    if class == FileClass::Test {
+        return Vec::new();
+    }
+
+    let path = unit.display.as_str();
+    let toks = &unit.lexed.tokens;
+    let mut raw: Vec<RawMatch> = Vec::new();
+
+    for i in 0..toks.len() {
+        let in_test = unit.in_test(i);
+        if in_test && !relaxed {
+            continue;
+        }
+        let mut add = |rule: Rule, line: u32, col: u32| {
+            if relaxed && !rule_in_profile(rule, Profile::Relaxed) {
+                return;
             }
-            let path_sep = |j: usize| {
-                toks.get(j).is_some_and(|t| t.is_punct(':'))
-                    && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
-            };
-            match toks[i].ident() {
-                Some("HashMap" | "HashSet") => {
-                    raw.push((Rule::HashCollection, toks[i].line, toks[i].col));
-                }
-                Some("thread_rng") => {
-                    raw.push((Rule::AmbientNondet, toks[i].line, toks[i].col));
-                }
-                Some("Instant" | "SystemTime")
-                    if path_sep(i + 1)
-                        && toks.get(i + 3).and_then(|t| t.ident()) == Some("now") =>
-                {
-                    raw.push((Rule::AmbientNondet, toks[i].line, toks[i].col));
-                }
-                Some("rand")
-                    if path_sep(i + 1)
-                        && toks.get(i + 3).and_then(|t| t.ident()) == Some("random") =>
-                {
-                    raw.push((Rule::AmbientNondet, toks[i].line, toks[i].col));
-                }
-                Some("env")
-                    if path_sep(i + 1)
-                        && toks
-                            .get(i + 3)
-                            .and_then(|t| t.ident())
-                            .is_some_and(env_read) =>
-                {
-                    raw.push((Rule::AmbientNondet, toks[i].line, toks[i].col));
-                }
-                Some("FaultRng")
-                    if !is_fault_boundary(path)
-                        && path_sep(i + 1)
-                        && toks.get(i + 3).and_then(|t| t.ident()) == Some("new") =>
-                {
-                    raw.push((Rule::FaultRng, toks[i].line, toks[i].col));
-                }
-                Some("Organization") if !is_org_boundary(path) && path_sep(i + 1) => {
-                    raw.push((Rule::SchedulerSeam, toks[i].line, toks[i].col));
-                }
-                Some("Mutex" | "RwLock" | "Condvar" | "mpsc") if !is_par_boundary(path) => {
-                    raw.push((Rule::ParSafety, toks[i].line, toks[i].col));
-                }
-                Some(id) if !is_par_boundary(path) && id.starts_with("Atomic") => {
-                    raw.push((Rule::ParSafety, toks[i].line, toks[i].col));
-                }
-                Some("static")
-                    if !is_par_boundary(path)
-                        && toks.get(i + 1).and_then(|t| t.ident()) == Some("mut") =>
-                {
-                    raw.push((Rule::ParSafety, toks[i].line, toks[i].col));
-                }
-                Some("unsafe")
-                    if !is_par_boundary(path)
-                        && toks.get(i + 1).and_then(|t| t.ident()) == Some("impl") =>
-                {
-                    raw.push((Rule::ParSafety, toks[i].line, toks[i].col));
-                }
-                Some("thread")
-                    if !is_par_boundary(path)
-                        && path_sep(i + 1)
-                        && matches!(
-                            toks.get(i + 3).and_then(|t| t.ident()),
-                            Some("spawn" | "scope")
-                        ) =>
-                {
-                    raw.push((Rule::ParSafety, toks[i].line, toks[i].col));
-                }
-                Some("DiskScheduler")
-                    if !is_scheduler_boundary(path)
-                        && toks.get(i + 1).and_then(|t| t.ident()) == Some("for") =>
-                {
-                    raw.push((Rule::SchedulerSeam, toks[i].line, toks[i].col));
-                }
-                Some(id)
-                    if !is_time_boundary(path)
-                        && is_time_ident(id)
-                        && toks.get(i + 1).and_then(|t| t.ident()) == Some("as")
-                        && toks
-                            .get(i + 2)
-                            .and_then(|t| t.ident())
-                            .is_some_and(|t| NUMERIC_TYPES.contains(&t)) =>
-                {
-                    raw.push((Rule::RawTimeCast, toks[i].line, toks[i].col));
-                }
-                _ => {}
+            if relaxed && in_test && rule != Rule::HashCollection {
+                return;
             }
-            // panic-policy: `.unwrap()` / `.expect(` in library code.
-            if class == FileClass::Library
-                && toks[i].is_punct('.')
-                && toks
-                    .get(i + 1)
-                    .and_then(|t| t.ident())
-                    .is_some_and(|id| id == "unwrap" || id == "expect")
-                && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+            raw.push((rule, line, col));
+        };
+        let path_sep = |j: usize| {
+            toks.get(j).is_some_and(|t| t.is_punct(':'))
+                && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+        };
+        match toks[i].ident() {
+            Some("HashMap" | "HashSet") => {
+                add(Rule::HashCollection, toks[i].line, toks[i].col);
+            }
+            Some("thread_rng") => {
+                add(Rule::AmbientNondet, toks[i].line, toks[i].col);
+            }
+            Some("Instant" | "SystemTime")
+                if path_sep(i + 1) && toks.get(i + 3).and_then(|t| t.ident()) == Some("now") =>
             {
-                raw.push((Rule::PanicPolicy, toks[i + 1].line, toks[i + 1].col));
+                add(Rule::AmbientNondet, toks[i].line, toks[i].col);
+            }
+            Some("rand")
+                if path_sep(i + 1) && toks.get(i + 3).and_then(|t| t.ident()) == Some("random") =>
+            {
+                add(Rule::AmbientNondet, toks[i].line, toks[i].col);
+            }
+            Some("env")
+                if path_sep(i + 1)
+                    && toks
+                        .get(i + 3)
+                        .and_then(|t| t.ident())
+                        .is_some_and(env_read) =>
+            {
+                add(Rule::AmbientNondet, toks[i].line, toks[i].col);
+            }
+            Some("FaultRng")
+                if !is_fault_boundary(path)
+                    && path_sep(i + 1)
+                    && toks.get(i + 3).and_then(|t| t.ident()) == Some("new") =>
+            {
+                add(Rule::FaultRng, toks[i].line, toks[i].col);
+            }
+            Some("Organization") if !is_org_boundary(path) && path_sep(i + 1) => {
+                add(Rule::SchedulerSeam, toks[i].line, toks[i].col);
+            }
+            Some("Mutex" | "RwLock" | "Condvar" | "mpsc") if !is_par_boundary(path) => {
+                add(Rule::ParSafety, toks[i].line, toks[i].col);
+            }
+            Some(id) if !is_par_boundary(path) && id.starts_with("Atomic") => {
+                add(Rule::ParSafety, toks[i].line, toks[i].col);
+            }
+            Some("static")
+                if !is_par_boundary(path)
+                    && toks.get(i + 1).and_then(|t| t.ident()) == Some("mut") =>
+            {
+                add(Rule::ParSafety, toks[i].line, toks[i].col);
+            }
+            Some("unsafe")
+                if !is_par_boundary(path)
+                    && toks.get(i + 1).and_then(|t| t.ident()) == Some("impl") =>
+            {
+                add(Rule::ParSafety, toks[i].line, toks[i].col);
+            }
+            Some("thread")
+                if !is_par_boundary(path)
+                    && path_sep(i + 1)
+                    && matches!(
+                        toks.get(i + 3).and_then(|t| t.ident()),
+                        Some("spawn" | "scope")
+                    ) =>
+            {
+                add(Rule::ParSafety, toks[i].line, toks[i].col);
+            }
+            Some("DiskScheduler")
+                if !is_scheduler_boundary(path)
+                    && toks.get(i + 1).and_then(|t| t.ident()) == Some("for") =>
+            {
+                add(Rule::SchedulerSeam, toks[i].line, toks[i].col);
+            }
+            Some(id)
+                if !is_time_boundary(path)
+                    && is_time_ident(id)
+                    && toks.get(i + 1).and_then(|t| t.ident()) == Some("as")
+                    && toks
+                        .get(i + 2)
+                        .and_then(|t| t.ident())
+                        .is_some_and(|t| NUMERIC_TYPES.contains(&t)) =>
+            {
+                add(Rule::RawTimeCast, toks[i].line, toks[i].col);
+            }
+            _ => {}
+        }
+        // panic-policy: `.unwrap()` / `.expect(` in library code.
+        if class == FileClass::Library
+            && toks[i].is_punct('.')
+            && toks
+                .get(i + 1)
+                .and_then(|t| t.ident())
+                .is_some_and(|id| id == "unwrap" || id == "expect")
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+        {
+            add(Rule::PanicPolicy, toks[i + 1].line, toks[i + 1].col);
+        }
+        // unit-safety: `time ± quantity` (or `±=`) outside the unit boundary.
+        if !ws.units.boundary.iter().any(|b| path.ends_with(b.as_str())) {
+            if let Some((line, col)) = unit_mix_at(toks, i, ws) {
+                add(Rule::UnitSafety, line, col);
             }
         }
     }
+    raw
+}
 
-    // Apply allow directives: a directive suppresses matching diagnostics
-    // on its own line and the line directly below.
+/// Detect `X + Y` / `X - Y` / `X += Y` / `X -= Y` at token `i` (the left
+/// operand) where one side names a time and the other a quantity. The right
+/// operand may be a `a.b.c` field chain (classified by its final segment)
+/// or a call (classified by the callee's name). A side followed by `*`/`/`
+/// — or preceded by one, for the left — is skipped: the product's unit is
+/// not the identifier's (`ms_per_block * blocks` is a legitimate mix).
+fn unit_mix_at(toks: &[Token], i: usize, ws: &WsConfig) -> Option<(u32, u32)> {
+    let x = toks[i].ident()?;
+    let op = toks.get(i + 1)?;
+    if !(op.is_punct('+') || op.is_punct('-')) {
+        return None;
+    }
+    // `a -> b`, `a ++`-style sequences, and `a - -b` all bail here.
+    let mut j = i + 2;
+    if toks.get(j).is_some_and(|t| t.is_punct('=')) {
+        j += 1;
+    }
+    // Left side must not be the tail of a product/quotient.
+    if i > 0 && (toks[i - 1].is_punct('*') || toks[i - 1].is_punct('/')) {
+        return None;
+    }
+    // Right side: walk a field chain `self.a.b`, ending on its last ident.
+    toks.get(j)?.ident()?;
+    while toks.get(j + 1).is_some_and(|t| t.is_punct('.'))
+        && toks.get(j + 2).is_some_and(|t| t.ident().is_some())
+    {
+        j += 2;
+    }
+    let y = toks[j].ident()?;
+    // What follows the right operand? Step over a call's argument list
+    // first so `t_ms + f(a * b)` inspects the token after `)`.
+    let mut after = j + 1;
+    if toks.get(after).is_some_and(|t| t.is_punct('(')) {
+        after = matching(toks, after, '(', ')')? + 1;
+    }
+    if toks
+        .get(after)
+        .is_some_and(|t| t.is_punct('*') || t.is_punct('/'))
+    {
+        return None;
+    }
+    let (xu, yu) = (unit_class(x, ws)?, unit_class(y, ws)?);
+    if xu != yu {
+        Some((toks[i].line, toks[i].col))
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Directive application & meta-rules
+// ---------------------------------------------------------------------------
+
+/// Apply allow directives to the raw matches of one file, then run the
+/// meta-rules over the directives themselves. Consumes the unit's
+/// directive `used` state, so call exactly once per file per run.
+pub(crate) fn finish_file(
+    unit: &mut FileUnit,
+    raw: Vec<RawMatch>,
+    cfg: &Config,
+    ws: &WsConfig,
+) -> Vec<Diagnostic> {
+    let lines: Vec<&str> = unit.src.lines().collect();
+    let path = unit.display.as_str();
     let mut diags = Vec::new();
+
+    // A directive suppresses matching diagnostics on its own line and the
+    // line directly below.
     for (rule, line, col) in raw {
         let mut suppressed = false;
-        for d in lexed.directives.iter_mut() {
+        for d in unit.lexed.directives.iter_mut() {
             if d.rule == Some(rule) && d.has_reason && (d.line == line || d.line + 1 == line) {
                 d.used = true;
                 suppressed = true;
@@ -876,12 +852,21 @@ pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
         }
     }
 
-    // Meta-rules over the directives themselves.
-    for d in &lexed.directives {
+    // Meta-rules over the directives. `unused-allow` only fires for rules
+    // that are actually enforced here (by both CLI level and profile) —
+    // a directive cannot be "stale" for a rule nobody is checking. Under
+    // the relaxed profile with no hash-pin marker, nothing is enforced.
+    let enforced_profile = match unit.profile {
+        Profile::Strict => Some(Profile::Strict),
+        Profile::Relaxed if unit.has_marker(&ws.hash_pin_markers) => Some(Profile::Relaxed),
+        Profile::Relaxed => None,
+    };
+    for d in &unit.lexed.directives {
         match d.rule {
             Some(rule) if d.has_reason => {
-                // Only meaningful when the annotated rule is enforced at all.
+                let enforced = enforced_profile.is_some_and(|p| rule_in_profile(rule, p));
                 if !d.used
+                    && enforced
                     && cfg.level(rule) != Level::Allow
                     && cfg.level(Rule::UnusedAllow) != Level::Allow
                 {
@@ -935,6 +920,22 @@ fn make_diag(
 }
 
 // ---------------------------------------------------------------------------
+// Public per-file entry points
+// ---------------------------------------------------------------------------
+
+/// Analyze one source file (given as a string, so unit tests can feed
+/// inline fixtures) and return every diagnostic whose rule is not allowed.
+/// Runs the per-file rules under the strict profile; the workspace rules
+/// (`journal-effect`, `layer-boundary`) need the whole tree — see
+/// [`analyze_workspace`].
+pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let ws = WsConfig::default();
+    let mut unit = FileUnit::new(path.to_string(), src.to_string(), Profile::Strict);
+    let raw = per_file_matches(&unit, &ws);
+    finish_file(&mut unit, raw, cfg, &ws)
+}
+
+// ---------------------------------------------------------------------------
 // Directory walking
 // ---------------------------------------------------------------------------
 
@@ -963,8 +964,11 @@ pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Analyze every `.rs` file under each root. Paths in diagnostics are
-/// reported relative to `strip_prefix` when possible.
+/// Analyze every `.rs` file under each root with the per-file rules under
+/// the strict profile. Paths in diagnostics are reported relative to
+/// `strip_prefix` when possible. (Explicit-paths CLI mode; the default
+/// no-paths invocation uses [`analyze_workspace`] instead, which adds the
+/// cross-file rules and the relaxed surface.)
 pub fn analyze_paths(
     roots: &[PathBuf],
     strip_prefix: &Path,
@@ -1265,5 +1269,150 @@ mod tests {
         assert!(text.contains("deny[hash-collection]"), "{text}");
         assert!(text.contains("crates/simkit/src/lib.rs:1:23"), "{text}");
         assert!(text.contains("help:"), "{text}");
+    }
+
+    // --- unit-safety ------------------------------------------------------
+
+    #[test]
+    fn unit_safety_flags_time_quantity_mixes() {
+        let d = lint("fn f(seek_ms: f64, nblocks: f64) -> f64 { seek_ms + nblocks }\n");
+        assert_eq!(rules_of(&d), vec![Rule::UnitSafety]);
+        // Both directions, and the compound-assignment forms.
+        let d = lint("fn f(mut total_blocks: u64, xfer_ns: u64) { total_blocks += xfer_ns; }\n");
+        assert_eq!(rules_of(&d), vec![Rule::UnitSafety]);
+        let d = lint("fn f(t_ns: u64, len: u64) -> u64 { t_ns - len }\n");
+        assert_eq!(rules_of(&d), vec![Rule::UnitSafety]);
+        // Field chains classify by their final segment.
+        let d = lint("fn f(s: &S) -> u64 { s.op.start_ns + s.req.nblocks }\n");
+        assert_eq!(rules_of(&d), vec![Rule::UnitSafety]);
+    }
+
+    #[test]
+    fn unit_safety_allows_homogeneous_and_scaled_arithmetic() {
+        // Same-unit arithmetic is fine.
+        let d = lint("fn f(seek_ms: f64, xfer_ms: f64) -> f64 { seek_ms + xfer_ms }\n");
+        assert!(d.is_empty(), "{d:?}");
+        let d = lint("fn f(a_blocks: u64, b_blocks: u64) -> u64 { a_blocks + b_blocks }\n");
+        assert!(d.is_empty(), "{d:?}");
+        // Multiplication/division legitimately crosses units…
+        let d = lint("fn f(ms_per_block: f64, blocks: f64) -> f64 { ms_per_block * blocks }\n");
+        assert!(d.is_empty(), "{d:?}");
+        // …including as an operand of +: the product's unit is time again.
+        let d = lint(
+            "fn f(seek_ms: f64, blocks: f64, per_ms: f64) -> f64 { seek_ms + blocks * per_ms }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+        let d = lint(
+            "fn f(seek_ms: f64, blocks: f64, per_ms: f64) -> f64 { blocks * per_ms + seek_ms }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+        // Unknown identifiers never classify.
+        let d = lint("fn f(a: u64, dur_ms: u64) -> u64 { dur_ms + a }\n");
+        assert!(d.is_empty(), "{d:?}");
+        // The unit boundary module is exempt.
+        let d = analyze_source(
+            "crates/simkit/src/time.rs",
+            "pub fn at(t_ms: f64, blocks: f64) -> f64 { t_ms + blocks }\n",
+            &Config::default(),
+        );
+        assert!(d.is_empty(), "{d:?}");
+        // Ambiguous names (both vocabularies) classify as neither.
+        let d = lint("fn f(block_time_ms: u64, blocks: u64) -> u64 { block_time_ms + blocks }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unit_safety_can_be_suppressed_like_any_rule() {
+        let d = lint(
+            "// simlint::allow(unit-safety): blocks is a pre-scaled ms contribution here\n\
+             fn f(t_ms: u64, blocks: u64) -> u64 { t_ms + blocks }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    // --- relaxed profile --------------------------------------------------
+
+    fn lint_relaxed(path: &str, src: &str) -> Vec<Diagnostic> {
+        let ws = WsConfig::default();
+        let mut unit = FileUnit::new(path.to_string(), src.to_string(), Profile::Relaxed);
+        let raw = per_file_matches(&unit, &ws);
+        finish_file(&mut unit, raw, &Config::default(), &ws)
+    }
+
+    #[test]
+    fn relaxed_profile_only_guards_hash_pinning_files() {
+        // A driver-style test file without a hash-pin marker: anything goes.
+        let noisy = "use std::collections::HashMap;\n\
+                     fn helper() { let _ = Instant::now(); Some(1).unwrap(); }\n";
+        assert!(lint_relaxed("tests/end_to_end.rs", noisy).is_empty());
+
+        // The same file pinning determinism hashes: hash-collection and
+        // (non-test) panic-policy come back.
+        let pinning = "use std::collections::HashMap;\n\
+                       fn fnv1a(bytes: &[u8]) -> u64 { 0 }\n\
+                       fn helper() { let _ = Instant::now(); Some(1).unwrap(); }\n";
+        let d = lint_relaxed("tests/determinism.rs", pinning);
+        assert_eq!(
+            rules_of(&d),
+            vec![Rule::HashCollection, Rule::PanicPolicy],
+            "{d:?}"
+        );
+
+        // Inside #[test] items: unwraps stay exempt, but a hash collection
+        // feeding the pinned hash is still flagged.
+        let in_test = "fn fnv1a(bytes: &[u8]) -> u64 { 0 }\n\
+                       #[test]\nfn t() {\n    let m = HashMap::new();\n    Some(1).unwrap();\n}\n";
+        let d = lint_relaxed("tests/determinism.rs", in_test);
+        assert_eq!(rules_of(&d), vec![Rule::HashCollection], "{d:?}");
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn relaxed_profile_reports_no_stale_allows_for_unenforced_rules() {
+        // ambient-nondet is not enforced under the relaxed profile, so an
+        // (unnecessary) directive for it must not surface as unused-allow.
+        let src = "fn fnv1a() -> u64 { 0 }\n\
+                   // simlint::allow(ambient-nondet): driver timestamping\n\
+                   fn helper() { let _ = Instant::now(); }\n";
+        let d = lint_relaxed("tests/determinism.rs", src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    // --- lexer hardening --------------------------------------------------
+
+    #[test]
+    fn directives_inside_strings_do_not_suppress() {
+        // The directive text lives in a string literal, not a comment: the
+        // unwrap on the next line must still be flagged.
+        let d = lint(
+            "pub fn f(x: Option<u32>) -> u32 {\n    \
+             let _m = \"// simlint::allow(panic-policy): spoofed\";\n    x.unwrap()\n}\n",
+        );
+        assert_eq!(rules_of(&d), vec![Rule::PanicPolicy]);
+    }
+
+    #[test]
+    fn block_comment_directives_suppress_and_are_audited() {
+        let d = lint(
+            "/* simlint::allow(panic-policy): checked by caller */\n\
+             pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+        // A malformed block-comment directive is caught like a line one.
+        let d = lint("/* simlint::allow(panic-policy) */\npub fn f() {}\n");
+        assert_eq!(rules_of(&d), vec![Rule::MalformedAllow]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_comment_markers_lex_exactly() {
+        // `//` and `*/` inside raw strings are content, not comments; the
+        // code after them is still live and its violation is still seen.
+        let d = lint(
+            "pub fn f() -> u32 {\n    \
+             let _p = r##\"// not a comment \"# still open\" HashMap\"##;\n    \
+             let _q = r#\"/* also not */\"#;\n    Some(1).unwrap()\n}\n",
+        );
+        assert_eq!(rules_of(&d), vec![Rule::PanicPolicy]);
+        assert_eq!(d[0].line, 4);
     }
 }

@@ -1,0 +1,217 @@
+//! `journal-effect`: every side effect on the byte-identical-replay
+//! surface that happens during partition execution must flow through a
+//! declared journal sink.
+//!
+//! The partition/merge contract (PR 6) is that a partition never touches
+//! the order-sensitive accumulators directly: it journals a `ParNote`/
+//! `ExecFrame` entry and the merge replays the journal in exact serial
+//! commit order. The handful of functions that *do* both — mutate the
+//! accumulator for the serial path and journal the same effect for the
+//! parallel path — are declared as `sinks` in `simlint.toml`. This pass
+//! walks the call graph from the declared partition entry points and
+//! flags, in any other reachable function:
+//!
+//! - a record-method call or `+=`/`-=` on a declared stat field
+//!   (`self.resp_all.push(…)`, `self.inflight += 1`, …);
+//! - scheduling of a declared tick event (`…schedule_after(…DestageTick…)`).
+//!
+//! Each declared sink is itself audited: its body must reference at least
+//! one journal marker (`StatPush`, `inflight_delta`, …), otherwise the
+//! sink declaration is a lie and is flagged at the function definition.
+
+use super::FileMatch;
+use crate::graph::{self, FnDef};
+use crate::lexer::Token;
+use crate::{matching, FileUnit, Rule, WsConfig};
+
+pub(crate) fn run(
+    ws: &WsConfig,
+    units: &[FileUnit],
+    defs: &[FnDef],
+) -> Result<Vec<FileMatch>, String> {
+    let jc = &ws.journal;
+    // Restrict the graph to the declared scope (the sim layer tree).
+    let scoped: Vec<FnDef> = defs
+        .iter()
+        .filter(|d| units[d.file].display.starts_with(jc.scope.as_str()))
+        .cloned()
+        .collect();
+    if scoped.is_empty() {
+        // Nothing in scope (e.g. a fixture tree without the sim layer):
+        // the rule is vacuously satisfied.
+        return Ok(Vec::new());
+    }
+
+    // Config-drift protection: the declared entry points and sinks must
+    // exist, otherwise a rename would silently disable the whole rule.
+    for name in jc.entries.iter().chain(&jc.sinks) {
+        if !scoped.iter().any(|d| d.name == *name) {
+            return Err(format!(
+                "journal-effect: `{name}` (declared in simlint.toml) does not name a \
+                 function under {} — fix the config or the rename",
+                jc.scope
+            ));
+        }
+    }
+
+    let reach = graph::reachable(&scoped, &jc.entries, &ws.ignore_calls);
+    let mut out = Vec::new();
+    for &i in &reach {
+        let d = &scoped[i];
+        let Some((open, close)) = d.body else {
+            continue;
+        };
+        let toks = &units[d.file].lexed.tokens;
+        if jc.sinks.contains(&d.name) {
+            // Sink audit: the body must actually journal.
+            let journals = toks[open..=close].iter().any(|t| {
+                t.ident()
+                    .is_some_and(|id| jc.journal_markers.iter().any(|m| m == id))
+            });
+            if !journals {
+                out.push((d.file, Rule::JournalEffect, d.line, d.col));
+            }
+            continue;
+        }
+        for (line, col) in body_effects(toks, open, close, ws) {
+            out.push((d.file, Rule::JournalEffect, line, col));
+        }
+    }
+    Ok(out)
+}
+
+/// Direct mutations of the replay surface inside one body: stat-field
+/// record calls / compound assignments, and tick-event scheduling.
+fn body_effects(toks: &[Token], open: usize, close: usize, ws: &WsConfig) -> Vec<(u32, u32)> {
+    let jc = &ws.journal;
+    let mut hits = Vec::new();
+    for k in open + 1..close {
+        // `.field` (optionally `[index]`) followed by `.method(` or `±=`.
+        if toks[k].is_punct('.') {
+            if let Some(field) = toks.get(k + 1).and_then(|t| t.ident()) {
+                if jc.stat_fields.iter().any(|f| f == field) {
+                    let mut m = k + 2;
+                    if toks.get(m).is_some_and(|t| t.is_punct('[')) {
+                        match matching(toks, m, '[', ']') {
+                            Some(end) => m = end + 1,
+                            None => continue,
+                        }
+                    }
+                    let record_call = toks.get(m).is_some_and(|t| t.is_punct('.'))
+                        && toks
+                            .get(m + 1)
+                            .and_then(|t| t.ident())
+                            .is_some_and(|id| jc.record_methods.iter().any(|r| r == id))
+                        && toks.get(m + 2).is_some_and(|t| t.is_punct('('));
+                    let compound = toks
+                        .get(m)
+                        .is_some_and(|t| t.is_punct('+') || t.is_punct('-'))
+                        && toks.get(m + 1).is_some_and(|t| t.is_punct('='));
+                    if record_call || compound {
+                        hits.push((toks[k + 1].line, toks[k + 1].col));
+                    }
+                }
+            }
+        }
+        // `schedule_after(… DestageTick …)` — the tick marker must appear
+        // inside the call's own argument list, not merely nearby.
+        if toks[k]
+            .ident()
+            .is_some_and(|id| jc.schedule_calls.iter().any(|s| s == id))
+            && toks.get(k + 1).is_some_and(|t| t.is_punct('('))
+        {
+            if let Some(end) = matching(toks, k + 1, '(', ')') {
+                let has_tick = toks[k + 2..end].iter().any(|t| {
+                    t.ident()
+                        .is_some_and(|id| jc.tick_markers.iter().any(|m| m == id))
+                });
+                if has_tick {
+                    hits.push((toks[k].line, toks[k].col));
+                }
+            }
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{graph::extract_fns, Profile};
+
+    fn setup(files: &[(&str, &str)]) -> (Vec<FileUnit>, Vec<FnDef>) {
+        let units: Vec<FileUnit> = files
+            .iter()
+            .map(|(p, s)| FileUnit::new(p.to_string(), s.to_string(), Profile::Strict))
+            .collect();
+        let mut defs = Vec::new();
+        for (i, u) in units.iter().enumerate() {
+            defs.extend(extract_fns(u, i));
+        }
+        (units, defs)
+    }
+
+    fn ws() -> WsConfig {
+        WsConfig::parse(
+            "[journal-effect]\nscope = \"src\"\nentries = [\"run_as_partition\"]\n\
+             sinks = [\"finalize\"]\nstat_fields = [\"resp_all\", \"inflight\", \"sched_qdepth\"]\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn direct_push_in_reachable_fn_is_flagged_but_journaled_sink_is_not() {
+        let (units, defs) = setup(&[(
+            "src/sim.rs",
+            "fn run_as_partition(s: &mut S) { step(s); }\n\
+             fn step(s: &mut S) {\n    s.resp_all.push(1.0);\n    s.inflight += 1;\n    \
+             s.sched_qdepth[2].push(0.5);\n    finalize(s);\n}\n\
+             fn finalize(s: &mut S) { s.resp_all.push(2.0); s.note.pushes.push(StatPush::X); }\n\
+             fn unreachable_merge(s: &mut S) { s.resp_all.push(3.0); }\n",
+        )]);
+        let m = run(&ws(), &units, &defs).unwrap();
+        let lines: Vec<u32> = m.iter().map(|&(_, _, l, _)| l).collect();
+        assert_eq!(lines, vec![3, 4, 5], "{m:?}");
+        assert!(m.iter().all(|&(_, r, _, _)| r == Rule::JournalEffect));
+    }
+
+    #[test]
+    fn sink_that_does_not_journal_is_flagged_at_its_definition() {
+        let (units, defs) = setup(&[(
+            "src/sim.rs",
+            "fn run_as_partition(s: &mut S) { finalize(s); }\n\
+             fn finalize(s: &mut S) { s.resp_all.push(2.0); }\n",
+        )]);
+        let m = run(&ws(), &units, &defs).unwrap();
+        assert_eq!(m.len(), 1, "{m:?}");
+        assert_eq!(m[0].2, 2, "flagged at the sink definition line");
+    }
+
+    #[test]
+    fn tick_scheduling_needs_the_marker_inside_the_call() {
+        let src = "fn run_as_partition(e: &mut E) { tick(e); other(e); }\n\
+                   fn tick(e: &mut E) { e.schedule_after(dt, Ev::DestageTick { array }); }\n\
+                   fn other(e: &mut E) { e.schedule_after(dt, Ev::DiskDone(i)); }\n\
+                   fn finalize(e: &mut E) { e.note.pushes.push(StatPush::X); }\n";
+        let (units, defs) = setup(&[("src/sim.rs", src)]);
+        let m = run(&ws(), &units, &defs).unwrap();
+        assert_eq!(m.len(), 1, "{m:?}");
+        assert_eq!(m[0].2, 2, "only the DestageTick reschedule is flagged");
+    }
+
+    #[test]
+    fn declared_names_must_exist_in_scope() {
+        let (units, defs) = setup(&[("src/sim.rs", "fn run_as_partition() {}\n")]);
+        let err = run(&ws(), &units, &defs).unwrap_err();
+        assert!(err.contains("finalize"), "{err}");
+    }
+
+    #[test]
+    fn out_of_scope_trees_are_vacuously_clean() {
+        let (units, defs) = setup(&[(
+            "other/lib.rs",
+            "fn f(s: &mut S) { s.resp_all.push(1.0); }\n",
+        )]);
+        assert!(run(&ws(), &units, &defs).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,53 @@
+//! SARIF 2.1.0 output (`--format sarif`) for CI code-scanning annotation.
+//!
+//! Emits the minimal valid document GitHub code scanning accepts: one run,
+//! a tool driver carrying the full rule catalog (id + help text), and one
+//! result per diagnostic with a physical location. Reuses the strict JSON
+//! escaping shared with `--format json`.
+
+use crate::{json_escape, Diagnostic, Level, RULES};
+
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+         \"driver\": {\n          \"name\": \"simlint\",\n          \
+         \"informationUri\": \"https://example.invalid/simlint\",\n          \"rules\": [",
+    );
+    for (i, r) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}, \
+             \"help\": {{\"text\": \"{}\"}}}}",
+            r.name(),
+            json_escape(r.name()),
+            json_escape(r.hint())
+        ));
+    }
+    out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let level = match d.level {
+            Level::Deny => "error",
+            Level::Warn => "warning",
+            Level::Allow => "note",
+        };
+        out.push_str(&format!(
+            "\n        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"{level}\",\n          \
+             \"message\": {{\"text\": \"{}\"}},\n          \"locations\": [\n            \
+             {{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}\n          ]\n        }}",
+            d.rule.name(),
+            json_escape(&format!("{}: {}", d.rule.name(), d.snippet)),
+            json_escape(&d.file),
+            d.line,
+            d.col
+        ));
+    }
+    out.push_str("\n      ]\n    }\n  ]\n}");
+    out
+}

@@ -1,0 +1,389 @@
+//! A dependency-free parser for the TOML subset simlint's data files use.
+//!
+//! `simlint.toml` (workspace-analysis configuration) and
+//! `simlint.baseline.toml` (the committed waiver file) need exactly:
+//! comments, `[table]` / `[nested.table]` headers, `[[array-of-tables]]`
+//! headers, and `key = value` pairs where a value is a basic string, an
+//! array of basic strings (single- or multi-line, trailing comma
+//! allowed), an integer, or a boolean. Nothing else is accepted — an
+//! unsupported construct is a hard parse error, never a silent skip, so
+//! a typo in the rule configuration cannot quietly turn a rule off.
+//!
+//! Basic-string escapes follow TOML: `\"`, `\\`, `\n`, `\r`, `\t`,
+//! `\u{XXXX}` is not TOML — `\uXXXX` (exactly four hex digits) is. The
+//! same escaping is used when *writing* the baseline, so waiver snippets
+//! containing quotes, backslashes, or control characters round-trip.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    /// Array of basic strings (the only array shape the data files need).
+    Arr(Vec<String>),
+    Table(Table),
+    /// `[[name]]` array-of-tables.
+    TableArr(Vec<Table>),
+}
+
+pub type Table = BTreeMap<String, Value>;
+
+impl Value {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[String]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_table(&self) -> Option<&Table> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Fetch a nested table by dotted path, e.g. `get_table(&root, "layer-boundary.allow")`.
+pub fn get_table<'a>(root: &'a Table, path: &str) -> Option<&'a Table> {
+    let mut cur = root;
+    for seg in path.split('.') {
+        cur = cur.get(seg)?.as_table()?;
+    }
+    Some(cur)
+}
+
+/// Fetch a string-array leaf by dotted path; `None` when absent.
+pub fn get_arr<'a>(root: &'a Table, path: &str) -> Option<&'a [String]> {
+    let (dir, leaf) = match path.rsplit_once('.') {
+        Some((d, l)) => (get_table(root, d)?, l),
+        None => (root, path),
+    };
+    dir.get(leaf)?.as_arr()
+}
+
+pub fn parse(src: &str) -> Result<Table, String> {
+    let mut root = Table::new();
+    // Where `key = value` lines currently land: a path into `root`.
+    let mut cursor: Vec<String> = Vec::new();
+    // For array-of-tables: whether the cursor tail addresses the *last*
+    // element of a TableArr.
+    let mut in_table_arr = false;
+
+    let lines: Vec<&str> = src.lines().collect();
+    let mut ln = 0;
+    while ln < lines.len() {
+        let raw = lines[ln];
+        let start = ln;
+        ln += 1;
+        let line = strip_comment(raw).trim();
+        let err = |m: &str| format!("line {}: {m}", start + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(h) = line.strip_prefix("[[") {
+            let name = h
+                .strip_suffix("]]")
+                .ok_or_else(|| err("unterminated [[header]]"))?
+                .trim();
+            if name.is_empty() || name.contains('.') {
+                return Err(err("array-of-tables headers must be a single bare name"));
+            }
+            let entry = root
+                .entry(name.to_string())
+                .or_insert_with(|| Value::TableArr(Vec::new()));
+            match entry {
+                Value::TableArr(v) => v.push(Table::new()),
+                _ => return Err(err("header redefines a non-array key")),
+            }
+            cursor = vec![name.to_string()];
+            in_table_arr = true;
+            continue;
+        }
+        if let Some(h) = line.strip_prefix('[') {
+            let name = h
+                .strip_suffix(']')
+                .ok_or_else(|| err("unterminated [header]"))?
+                .trim();
+            if name.is_empty() {
+                return Err(err("empty table header"));
+            }
+            cursor = name.split('.').map(|s| s.trim().to_string()).collect();
+            in_table_arr = false;
+            // Materialize the path eagerly so empty tables still exist.
+            ensure_table(&mut root, &cursor, false).map_err(|m| err(&m))?;
+            continue;
+        }
+        let (key, val) = line
+            .split_once('=')
+            .ok_or_else(|| err("expected `key = value`"))?;
+        let key = key.trim();
+        if key.is_empty() {
+            return Err(err("empty key"));
+        }
+        // A `key = [` array may span lines: accumulate until the bracket
+        // closes outside a string.
+        let mut val_src = val.trim().to_string();
+        if val_src.starts_with('[') {
+            while !array_closed(&val_src) && ln < lines.len() {
+                val_src.push(' ');
+                val_src.push_str(strip_comment(lines[ln]).trim());
+                ln += 1;
+            }
+        }
+        let val = parse_value(&val_src).map_err(|m| err(&m))?;
+        let target = ensure_table(&mut root, &cursor, in_table_arr).map_err(|m| err(&m))?;
+        if target.insert(key.to_string(), val).is_some() {
+            return Err(err(&format!("duplicate key `{key}`")));
+        }
+    }
+    Ok(root)
+}
+
+/// Walk (and create) the table addressed by `path`; with `table_arr`, the
+/// first path segment addresses the last element of a `[[…]]` array.
+fn ensure_table<'a>(
+    root: &'a mut Table,
+    path: &[String],
+    table_arr: bool,
+) -> Result<&'a mut Table, String> {
+    let mut cur = root;
+    for (k, seg) in path.iter().enumerate() {
+        let entry = cur
+            .entry(seg.clone())
+            .or_insert_with(|| Value::Table(Table::new()));
+        cur = match entry {
+            Value::Table(t) => t,
+            Value::TableArr(v) if table_arr && k == 0 => {
+                v.last_mut().ok_or("empty array-of-tables")?
+            }
+            _ => return Err(format!("`{seg}` is not a table")),
+        };
+    }
+    Ok(cur)
+}
+
+/// Whether an accumulated array literal contains its closing `]` outside
+/// any basic string.
+fn array_closed(s: &str) -> bool {
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            ']' if !in_str => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Strip a `#` comment, respecting `#` inside basic strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(s: &str) -> Result<Value, String> {
+    if s.starts_with('"') {
+        let (v, rest) = parse_basic_string(s)?;
+        if !rest.trim().is_empty() {
+            return Err("trailing characters after string".into());
+        }
+        return Ok(Value::Str(v));
+    }
+    if let Some(body) = s.strip_prefix('[') {
+        let body = body.strip_suffix(']').ok_or("unterminated array")?;
+        let mut out = Vec::new();
+        let mut rest = body.trim();
+        while !rest.is_empty() {
+            if !rest.starts_with('"') {
+                return Err("arrays may contain only strings".into());
+            }
+            let (v, tail) = parse_basic_string(rest)?;
+            out.push(v);
+            rest = tail.trim_start();
+            match rest.strip_prefix(',') {
+                Some(t) => rest = t.trim_start(),
+                None if rest.is_empty() => {}
+                None => return Err("expected `,` between array elements".into()),
+            }
+        }
+        return Ok(Value::Arr(out));
+    }
+    match s {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    s.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| format!("unsupported value `{s}`"))
+}
+
+/// Parse one `"basic string"` at the start of `s`; returns (value, rest).
+fn parse_basic_string(s: &str) -> Result<(String, &str), String> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    match chars.next() {
+        Some((_, '"')) => {}
+        _ => return Err("expected `\"`".into()),
+    }
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &s[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 't')) => out.push('\t'),
+                Some((j, 'u')) => {
+                    let hex = s.get(j + 1..j + 5).ok_or("truncated \\u escape")?;
+                    let code =
+                        u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+                    out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                    // Skip the four hex digits.
+                    for _ in 0..4 {
+                        chars.next();
+                    }
+                }
+                _ => return Err("unsupported escape".into()),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// Escape a string for emission as a TOML basic string (used when writing
+/// the baseline, so snippets with quotes/backslashes/control chars
+/// round-trip).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_arrays_and_scalars() {
+        let t = parse(
+            "# comment\ntop = \"v\"\n[a]\nx = 3\nflag = true\n[a.b]\nlist = [\"p\", \"q\"]\n",
+        )
+        .unwrap();
+        assert_eq!(t["top"].as_str(), Some("v"));
+        assert_eq!(get_table(&t, "a").unwrap()["x"], Value::Int(3));
+        assert_eq!(get_table(&t, "a").unwrap()["flag"], Value::Bool(true));
+        assert_eq!(
+            get_arr(&t, "a.b.list").unwrap(),
+            ["p".to_string(), "q".to_string()]
+        );
+    }
+
+    #[test]
+    fn parses_array_of_tables() {
+        let t = parse("[[w]]\nrule = \"r1\"\n[[w]]\nrule = \"r2\"\n").unwrap();
+        match &t["w"] {
+            Value::TableArr(v) => {
+                assert_eq!(v.len(), 2);
+                assert_eq!(v[0]["rule"].as_str(), Some("r1"));
+                assert_eq!(v[1]["rule"].as_str(), Some("r2"));
+            }
+            other => panic!("expected TableArr, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        for s in [
+            "plain",
+            "with \"quotes\" and \\backslash\\",
+            "tab\there\nnewline",
+            "control\u{1}char # not a comment",
+        ] {
+            let enc = format!("k = {}\n", escape(s));
+            let t = parse(&enc).unwrap();
+            assert_eq!(t["k"].as_str(), Some(s), "round-trip failed for {s:?}");
+        }
+    }
+
+    #[test]
+    fn multiline_arrays_with_trailing_commas_and_comments() {
+        let t = parse(
+            "list = [\n    \"a\", # per-element comment\n    \"b ] not a close\",\n    \"c\",\n]\n\
+             after = 1\n",
+        )
+        .unwrap();
+        assert_eq!(
+            get_arr(&t, "list").unwrap(),
+            [
+                "a".to_string(),
+                "b ] not a close".to_string(),
+                "c".to_string()
+            ]
+        );
+        assert_eq!(t["after"], Value::Int(1));
+        assert!(parse("list = [\n  \"a\",\n").is_err(), "unterminated array");
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let t = parse("k = \"a # b\" # real comment\n").unwrap();
+        assert_eq!(t["k"].as_str(), Some("a # b"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("key\n").is_err());
+        assert!(parse("[unclosed\n").is_err());
+        assert!(parse("k = [1, 2]\n").is_err(), "non-string arrays rejected");
+        assert!(parse("k = \"unterminated\n").is_err());
+        assert!(parse("k = 1\nk = 2\n").is_err(), "duplicate keys rejected");
+    }
+}
