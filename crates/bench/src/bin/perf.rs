@@ -8,22 +8,28 @@
 //! future PRs from quietly slowing the hot path.
 //!
 //! ```text
-//! perf                          # measure, write BENCH_6.json
+//! perf                          # measure, write BENCH_8.json
 //! perf --scale 0.05 --reps 3    # smaller workload, best-of-3 timing
-//! perf --check BENCH_6.json     # measure, then gate against a baseline
-//! perf --check BENCH_6.json --tolerance 0.5   # cross-machine smoke gate
+//! perf --check BENCH_8.json     # measure, then gate against a baseline
+//! perf --check BENCH_8.json --tolerance 0.5   # cross-machine smoke gate
 //! perf --sweep-grid 24          # time sweep::run_all on a mixed grid
 //! perf --par-run 8              # add the partitioned-run axis at 8 threads
+//! perf --par-run 4 --min-speedup 2.0          # multi-core CI speedup gate
 //! ```
 //!
 //! `--par-run T` adds a second axis on a *multi-array* Trace 1 workload
 //! (13 redundancy groups at the default `--par-scale`): each organization
 //! is timed serial and then partitioned across `T` intra-run threads, and
 //! the two reports are compared **byte for byte** — any divergence aborts
-//! the harness, so every BENCH_6.json row doubles as a determinism proof.
+//! the harness, so every BENCH_8.json row doubles as a determinism proof.
 //! Parallel rows report events/sec as *serial-equivalent* events over
-//! parallel wall time: the partitions replicate the arrival stream, so
-//! counting their raw event totals would overstate useful throughput.
+//! parallel wall time, plus two instrumentation columns: replay
+//! amplification (partition events ÷ merged serial-order events — the
+//! pre-split arrival feed keeps it ≤ 1.0, and the harness hard-fails above
+//! 1.1) and the flat-encoded journal bytes streamed to the merge.
+//! `--min-speedup F` additionally fails the run when no organization's
+//! partitioned wall-clock speedup reaches `F` — for CI on multi-core
+//! hosts; 1-CPU hosts should omit it and gate on amplification alone.
 //!
 //! All simulated results (mean response times) are independent of this
 //! harness: it times the same deterministic runs the science binaries use.
@@ -35,7 +41,7 @@ use raidsim::{
 use std::time::Instant;
 use tracegen::SynthSpec;
 
-const BENCH_ID: u64 = 6;
+const BENCH_ID: u64 = 8;
 
 struct Args(Vec<String>);
 
@@ -67,7 +73,7 @@ fn die(msg: &str) -> ! {
     eprintln!(
         "usage: perf [--scale F] [--reps N] [--seed N] [--out PATH]\n\
          \t[--check BASELINE.json] [--tolerance F] [--sweep-grid N] [--threads N]\n\
-         \t[--par-run T] [--par-scale F]"
+         \t[--par-run T] [--par-scale F] [--min-speedup F]"
     );
     std::process::exit(2)
 }
@@ -104,10 +110,11 @@ fn main() {
     }
     let reps: usize = args.parse("--reps", 1).max(1);
     let seed: u64 = args.parse("--seed", 7);
-    let out_path = args.get("--out").unwrap_or("BENCH_6.json").to_string();
+    let out_path = args.get("--out").unwrap_or("BENCH_8.json").to_string();
     let tolerance: f64 = args.parse("--tolerance", 0.15);
     let par_threads: usize = args.parse("--par-run", 0);
     let par_scale: f64 = args.parse("--par-scale", 0.02);
+    let min_speedup: f64 = args.parse("--min-speedup", 0.0);
     if !(par_scale > 0.0 && par_scale <= 1.0) {
         die(&format!("--par-scale {par_scale} out of range (0, 1]"));
     }
@@ -145,7 +152,7 @@ fn main() {
                 let t0 = Instant::now();
                 let (report, stats) = sim.run_instrumented();
                 let wall = t0.elapsed().as_secs_f64();
-                if best.is_none_or(|(w, _, _)| wall < w) {
+                if best.as_ref().is_none_or(|(w, _, _)| wall < *w) {
                     best = Some((wall, stats, report.mean_response_ms()));
                 }
             }
@@ -174,6 +181,8 @@ fn main() {
                 events_per_sec: eps,
                 peak_queue_depth: stats.peak_pending as u64,
                 mean_response_ms: mean_ms,
+                replay_amplification: 1.0,
+                journal_bytes: 0,
             });
         }
     }
@@ -183,6 +192,7 @@ fn main() {
             par_scale,
             reps,
             seed,
+            min_speedup,
             &mut runs,
             &mut total_events,
             &mut total_wall,
@@ -244,15 +254,19 @@ fn main() {
 /// multi-array Trace 1 workload (13 redundancy groups). Every partitioned
 /// run is compared byte-for-byte against its serial reference; any
 /// divergence aborts the harness. Parallel rows count *serial-equivalent*
-/// events (the useful work) over parallel wall time, because partitions
-/// replicate the shared arrival stream and their raw event totals would
-/// flatter the parallel path.
+/// events (the useful work) over parallel wall time, and carry the
+/// partitioned-path instrumentation: replay amplification (partition
+/// events ÷ merged serial-order events; the pre-split arrival feed keeps
+/// it ≤ 1.0, and anything above 1.1 aborts) and the flat-encoded journal
+/// bytes streamed to the merge. With `min_speedup > 0`, the axis fails
+/// unless some organization's wall-clock speedup reaches it.
 #[allow(clippy::too_many_arguments)]
 fn par_axis(
     threads: usize,
     scale: f64,
     reps: usize,
     seed: u64,
+    min_speedup: f64,
     runs: &mut Vec<PerfRun>,
     total_events: &mut u64,
     total_wall: &mut f64,
@@ -261,9 +275,10 @@ fn par_axis(
     let trace = SynthSpec::trace1().scaled(scale).generate();
     eprintln!("{} requests\n", trace.len());
     eprintln!(
-        "{:<16} {:>6} {:>10} {:>9} {:>12} {:>8}",
-        "run", "cache", "events", "wall s", "events/s", "speedup"
+        "{:<16} {:>6} {:>10} {:>9} {:>12} {:>8} {:>6} {:>10}",
+        "run", "cache", "events", "wall s", "events/s", "speedup", "amp", "journal B"
     );
+    let mut best_speedup = 0.0f64;
     for org in organizations() {
         for cached in [false, true] {
             // Serial reference: the timing baseline *and* the byte-identity
@@ -278,7 +293,7 @@ fn par_axis(
                 let t0 = Instant::now();
                 let (report, stats) = sim.run_instrumented();
                 let wall = t0.elapsed().as_secs_f64();
-                if serial.is_none_or(|(w, _, _)| wall < w) {
+                if serial.as_ref().is_none_or(|(w, _, _)| wall < *w) {
                     serial = Some((wall, stats, report.mean_response_ms()));
                     serial_bytes = format!("{report:#?}");
                 }
@@ -308,33 +323,58 @@ fn par_axis(
                         org.label()
                     ));
                 }
-                if par.is_none_or(|(w, _)| wall < w) {
+                if par.as_ref().is_none_or(|(w, _)| wall < *w) {
                     par = Some((wall, stats));
                 }
             }
             let Some((p_wall, p_stats)) = par else {
                 unreachable!("reps >= 1")
             };
+            if p_stats.replay_amplification > 1.1 {
+                die(&format!(
+                    "{} cached={cached}: replay amplification {:.3} exceeds the 1.1 budget — \
+                     partitions are executing events the merge does not account for",
+                    org.label(),
+                    p_stats.replay_amplification
+                ));
+            }
+            best_speedup = best_speedup.max(s_wall / p_wall);
             let events = s_stats.events_processed;
-            for (label, wall, peak, speedup) in [
-                (
-                    format!("{}@ma", org.label()),
-                    s_wall,
-                    s_stats.peak_pending,
-                    1.0,
-                ),
+            for (label, wall, stats, speedup) in [
+                (format!("{}@ma", org.label()), s_wall, &s_stats, 1.0),
                 (
                     format!("{}@par{threads}", org.label()),
                     p_wall,
-                    p_stats.peak_pending,
+                    &p_stats,
                     s_wall / p_wall,
                 ),
             ] {
                 let eps = events as f64 / wall;
                 eprintln!(
-                    "{:<16} {:>6} {:>10} {:>9.3} {:>12.0} {:>7.2}x",
-                    label, cached, events, wall, eps, speedup
+                    "{:<16} {:>6} {:>10} {:>9.3} {:>12.0} {:>7.2}x {:>6.3} {:>10}",
+                    label,
+                    cached,
+                    events,
+                    wall,
+                    eps,
+                    speedup,
+                    stats.replay_amplification,
+                    stats.journal_bytes
                 );
+                // Per-partition breakdown (arrival ownership, journal
+                // volume): the direct view of whether the pre-split kept
+                // partition work proportional to partition events.
+                for (i, p) in stats.partitions.iter().enumerate() {
+                    eprintln!(
+                        "  └ p{i} arrays {}..{}: {} arrivals, {} events, {} frames, {} journal B",
+                        p.arrays.0,
+                        p.arrays.1,
+                        p.arrivals_owned,
+                        p.events_processed,
+                        p.journal_frames,
+                        p.journal_bytes
+                    );
+                }
                 *total_events += events;
                 *total_wall += wall;
                 runs.push(PerfRun {
@@ -344,11 +384,19 @@ fn par_axis(
                     events,
                     wall_secs: wall,
                     events_per_sec: eps,
-                    peak_queue_depth: peak as u64,
+                    peak_queue_depth: stats.peak_pending as u64,
                     mean_response_ms: s_mean,
+                    replay_amplification: stats.replay_amplification,
+                    journal_bytes: stats.journal_bytes,
                 });
             }
         }
+    }
+    if min_speedup > 0.0 && best_speedup < min_speedup {
+        die(&format!(
+            "best partitioned speedup {best_speedup:.2}x is below the --min-speedup \
+             {min_speedup:.2}x gate at {threads} threads"
+        ));
     }
 }
 

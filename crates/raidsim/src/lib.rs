@@ -39,5 +39,5 @@ pub use config::{
 };
 pub use diskmodel::Discipline;
 pub use report::{FaultReport, PhaseSample, PhaseWelfords, SchedulerReport, SimReport};
-pub use sim::{RunStats, Simulator};
+pub use sim::{PartStats, RunStats, Simulator, WarmDisks};
 pub use sweep::{run_all, NamedRun};

@@ -11,24 +11,19 @@ use super::*;
 
 impl<'t> Simulator<'t> {
     pub(super) fn on_arrive(&mut self) {
-        let idx = self.next_arrival;
-        self.next_arrival += 1;
-        if let Some(next) = self.trace.records.get(self.next_arrival) {
-            self.engine.schedule_at(next.at, Ev::Arrive);
-        }
+        // The feed already advanced the clock to the record's arrival time
+        // (`Simulator::next_step`); no chain of Arrive events exists, so a
+        // partition consumes exactly its own pre-split records and never
+        // sees a foreign arrival.
+        let idx = self.pop_feed();
         let rec = self.trace.records[idx];
         let array = rec.disk / self.n;
-
-        // Partition mode: a record addressed to another partition's arrays
-        // is a stub arrival — the trace cursor and the arrival chain above
-        // advanced exactly as in a serial run (so every later schedule in
-        // this partition keeps its serial relative order), but the record
-        // itself is processed solely by its owning partition.
         if let Some(p) = self.par.as_deref_mut() {
             p.note.is_arrive = true;
-            if !(p.lo..p.hi).contains(&array) {
-                return;
-            }
+            debug_assert!(
+                (p.lo..p.hi).contains(&array),
+                "pre-split leaked a foreign arrival into this partition"
+            );
         }
 
         if self.cfg.cache.is_none() {

@@ -215,7 +215,7 @@ impl<'t> Simulator<'t> {
         }
 
         // Keep ticking while there is anything left to clean.
-        let work_left = self.next_arrival < self.trace.records.len()
+        let work_left = self.arrivals_remaining()
             || self.inflight > 0
             || self.caches[a].dirty_count() > 0
             || self.spools.get(a).is_some_and(|s| !s.is_empty());

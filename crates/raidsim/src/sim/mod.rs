@@ -238,7 +238,9 @@ struct DestageJob {
 
 #[derive(Debug)]
 enum Ev {
-    /// Process the next trace record.
+    /// Process the next trace record. Never scheduled in the event queue:
+    /// synthesized by [`Simulator::next_step`] when the arrival feed's head
+    /// precedes every pending event (see "Event flow" above).
     Arrive,
     DiskDone {
         gdisk: u32,
@@ -262,12 +264,91 @@ enum Ev {
 /// Engine-level counters of a finished run, reported by
 /// [`Simulator::run_instrumented`]: throughput denominators for the perf
 /// harness, deliberately kept out of [`SimReport`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RunStats {
-    /// Total events dispatched by the engine.
+    /// Total events dispatched by the engine — for a parallel run, summed
+    /// across partitions (the actual work performed, virtual merge-extension
+    /// ticks excluded).
     pub events_processed: u64,
-    /// Future-event-list high-water mark (peak simultaneously pending).
+    /// Future-event-list high-water mark (peak simultaneously pending; max
+    /// over partitions for a parallel run).
     pub peak_pending: usize,
+    /// Per-partition counters of a parallel run; empty for a serial run.
+    pub partitions: Vec<PartStats>,
+    /// Total flat-encoded journal bytes streamed from partitions to the
+    /// merge (0 for a serial run).
+    pub journal_bytes: u64,
+    /// Events executed across partitions ÷ events the merged serial
+    /// schedule contains: how much redundant replay the partitioning paid.
+    /// 1.0 means every executed event was owned work (serial runs report
+    /// exactly 1.0).
+    pub replay_amplification: f64,
+}
+
+/// One partition's share of a parallel run (see [`RunStats::partitions`]).
+#[derive(Clone, Copy, Debug)]
+pub struct PartStats {
+    /// Owned array range `[lo, hi)`.
+    pub arrays: (u32, u32),
+    /// Trace arrivals owned (pre-split list length).
+    pub arrivals_owned: u64,
+    /// Events the partition executed (arrivals + its queue pops).
+    pub events_processed: u64,
+    /// Exec frames journaled (= events executed, kept separate as a
+    /// cross-check on the journal stream).
+    pub journal_frames: u64,
+    /// Flat-encoded journal bytes this partition produced.
+    pub journal_bytes: u64,
+}
+
+/// Pre-built disk models for warm-starting construction. The per-disk
+/// state is a pure function of (seed, geometry, seek curve, disk index),
+/// so one pool built for the largest configuration serves every run that
+/// shares those parameters — smaller configurations use a prefix, and a
+/// run whose parameters differ falls back to cold construction (the pool
+/// is an optimization, never a correctness input).
+pub struct WarmDisks {
+    seed: u64,
+    geometry: diskmodel::DiskGeometry,
+    seek: diskmodel::SeekCurve,
+    disks: Vec<Disk>,
+}
+
+impl WarmDisks {
+    /// Build a pool of `total_disks` pristine drives for `cfg`'s seed,
+    /// geometry, and seek curve.
+    pub fn new(cfg: &SimConfig, total_disks: u32) -> WarmDisks {
+        let rot_ns = cfg.geometry.rotation_ns();
+        WarmDisks {
+            seed: cfg.seed,
+            geometry: cfg.geometry.clone(),
+            seek: cfg.seek,
+            disks: (0..total_disks as u64)
+                .map(|i| {
+                    Disk::new(
+                        cfg.geometry.clone(),
+                        cfg.seek,
+                        spindle_phase(cfg.seed, i, rot_ns),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether a configuration can reuse this pool's drives.
+    fn matches(&self, cfg: &SimConfig) -> bool {
+        self.seed == cfg.seed && self.geometry == cfg.geometry && self.seek == cfg.seek
+    }
+}
+
+/// Partition scope handed to construction by the parallel runner: the
+/// owned array range and arrival share, used to size the future-event list
+/// and entity slabs from the partition's own workload and to skip building
+/// full-size NV caches for foreign arrays (which receive no events).
+struct PartScope {
+    lo: u32,
+    hi: u32,
+    own_arrivals: usize,
 }
 
 /// Trace-driven simulator for one configuration. Construct with
@@ -381,6 +462,26 @@ impl<'t> Simulator<'t> {
     /// Fallible constructor: validates `cfg` against `trace` and returns
     /// the configuration error instead of panicking.
     pub fn try_new(cfg: SimConfig, trace: &'t Trace) -> Result<Simulator<'t>, String> {
+        Self::try_new_inner(cfg, trace, None, None)
+    }
+
+    /// Like [`Simulator::try_new`], but reusing pre-built disk models from
+    /// `warm` when its parameters match `cfg` (cold construction otherwise).
+    /// Byte-identical results either way; only construction cost differs.
+    pub fn try_new_warm(
+        cfg: SimConfig,
+        trace: &'t Trace,
+        warm: &WarmDisks,
+    ) -> Result<Simulator<'t>, String> {
+        Self::try_new_inner(cfg, trace, None, Some(warm))
+    }
+
+    fn try_new_inner(
+        cfg: SimConfig,
+        trace: &'t Trace,
+        scope: Option<&PartScope>,
+        warm: Option<&WarmDisks>,
+    ) -> Result<Simulator<'t>, String> {
         cfg.validate()?;
         let n = cfg.data_disks_per_array;
         let bpd = cfg.geometry.blocks_per_disk();
@@ -393,23 +494,38 @@ impl<'t> Simulator<'t> {
         let total_disks = (arrays * dpa) as usize;
 
         // Un-synchronized spindles: deterministic pseudo-random phases from
-        // the seed (splitmix64 over the disk index).
+        // the seed (splitmix64 over the disk index). A matching warm pool
+        // already holds exactly these drives; a pool built for a larger
+        // configuration serves smaller ones as a prefix.
         let rot_ns = cfg.geometry.rotation_ns();
-        let disks = (0..total_disks)
-            .map(|i| {
-                Disk::new(
-                    cfg.geometry.clone(),
-                    cfg.seek,
-                    spindle_phase(cfg.seed, i as u64, rot_ns),
-                )
-            })
-            .collect();
+        let cold_disk = |i: usize| {
+            Disk::new(
+                cfg.geometry.clone(),
+                cfg.seek,
+                spindle_phase(cfg.seed, i as u64, rot_ns),
+            )
+        };
+        let disks: Vec<Disk> = match warm.filter(|w| w.matches(&cfg)) {
+            Some(w) => (0..total_disks)
+                .map(|i| w.disks.get(i).cloned().unwrap_or_else(|| cold_disk(i)))
+                .collect(),
+            None => (0..total_disks).map(cold_disk).collect(),
+        };
 
         let cache_blocks = cfg
             .cache
             .map(|c| nvcache::blocks_for_mb(c.size_mb, cfg.geometry.block_bytes as u64) as usize);
         let caches = match cache_blocks {
-            Some(blocks) => (0..arrays).map(|_| NvCache::new(blocks)).collect(),
+            Some(blocks) => (0..arrays)
+                .map(|a| {
+                    // A partition only drives its own arrays; foreign arrays
+                    // get minimum-size placeholder caches that are never
+                    // touched (no foreign arrivals, no foreign ticks) and
+                    // are discarded by the merge's hardware graft.
+                    let foreign = scope.is_some_and(|s| !(s.lo..s.hi).contains(&a));
+                    NvCache::new(if foreign { 2 } else { blocks })
+                })
+                .collect(),
             None => Vec::new(),
         };
         let parity_cached = planner.caches_parity(cfg.cache.is_some());
@@ -481,22 +597,27 @@ impl<'t> Simulator<'t> {
             None => None,
         };
 
-        // Pre-size the future-event list and entity slabs from the trace:
-        // pending events and live entities scale with in-flight requests,
-        // a small fraction of trace length, so cap the reservation. Purely
-        // an allocation hint — results are identical without it.
-        let ev_cap = (trace.records.len() / 4).clamp(64, 1 << 14);
-        // Size the calendar-queue bucket width from the trace: each record
+        // Pre-size the future-event list and entity slabs from the records
+        // this simulator will actually feed — the whole trace serially, the
+        // partition's own pre-split share in a parallel run. Pending events
+        // and live entities scale with in-flight requests, a small fraction
+        // of that count, so cap the reservation. Purely an allocation hint —
+        // results are identical without it.
+        let own_records = scope.map_or(trace.records.len(), |s| s.own_arrivals);
+        let ev_cap = (own_records / 4).clamp(64, 1 << 14);
+        // Size the calendar-queue bucket width from the workload: each record
         // expands to a handful of events, so mean event spacing is about
         // the horizon over 8× the record count. Clamp to at most ~131 µs:
         // the pending population is tiny (tens of events spanning one
         // response time), so narrow buckets keep the per-pop in-bucket
         // scan at O(1) — widths near the millisecond arrival spacing
         // measured ~30% slower on the OLTP traces. The pop order, and
-        // therefore every result, is identical for any width.
+        // therefore every result, is identical for any width (which is also
+        // why partitions may size from their own share without perturbing
+        // the merged byte-identical result).
         let horizon_ns = trace.records.last().map_or(0, |r| r.at.as_ns());
         let width_ns = if horizon_ns > 0 {
-            (horizon_ns / (trace.records.len() as u64 * 8).max(1)).clamp(1 << 10, 1 << 17)
+            (horizon_ns / (own_records as u64 * 8).max(1)).clamp(1 << 10, 1 << 17)
         } else {
             0
         };
@@ -579,9 +700,6 @@ impl<'t> Simulator<'t> {
     /// describe the simulator, not the modeled array, so they live outside
     /// [`SimReport`] and cannot perturb its serialized form.
     pub fn run_instrumented(mut self) -> (SimReport, RunStats) {
-        if let Some(first) = self.trace.records.first() {
-            self.engine.schedule_at(first.at, Ev::Arrive);
-        }
         if self.cfg.cache.is_some() {
             for a in 0..self.arrays {
                 self.engine
@@ -613,9 +731,10 @@ impl<'t> Simulator<'t> {
         for (at, kind) in fault_evs {
             self.engine.schedule_at(at, Ev::Fault(kind));
         }
-        while let Some(ev) = self.engine.next_event() {
+        while let Some(ev) = self.next_step() {
             self.dispatch(ev);
         }
+        debug_assert!(!self.arrivals_remaining(), "arrival feed not drained");
         debug_assert_eq!(self.inflight, 0, "requests left in flight");
         debug_assert_eq!(self.ops.len(), 0, "disk ops leaked");
         debug_assert_eq!(self.jobs.len(), 0, "parity jobs leaked");
@@ -627,8 +746,72 @@ impl<'t> Simulator<'t> {
         let stats = RunStats {
             events_processed: self.engine.events_processed(),
             peak_pending: self.engine.peak_pending(),
+            partitions: Vec::new(),
+            journal_bytes: 0,
+            replay_amplification: 1.0,
         };
         (self.report(), stats)
+    }
+
+    /// One step of the unified event loop: the next queue event or the next
+    /// feed arrival, whichever is earlier. Arrivals are never *scheduled* —
+    /// the trace is already a time-sorted stream, so the loop merges it
+    /// with the future-event list here, saving a queue round-trip per
+    /// record and letting a partition consume exactly its own arrivals.
+    ///
+    /// Tie rule: an arrival fires before queue events carrying the same
+    /// timestamp. The rule only matters when an arrival's nanosecond
+    /// timestamp exactly equals an internal event's (rounded exponential
+    /// inter-arrival sums vs. service-time sums — coincidences the pinned
+    /// determinism hashes would surface); what it must be is *identical in
+    /// serial and partition runs*, which a fixed rule guarantees.
+    fn next_step(&mut self) -> Option<Ev> {
+        match (self.peek_feed(), self.engine.next_time()) {
+            (Some(a), Some(q)) if a > q => self.engine.next_event(),
+            (None, Some(_)) => self.engine.next_event(),
+            (Some(a), _) => {
+                self.engine.feed_event(a);
+                Some(Ev::Arrive)
+            }
+            (None, None) => None,
+        }
+    }
+
+    /// Arrival time at the head of this simulator's feed: the global
+    /// cursor serially, the partition's own pre-split list in a parallel
+    /// run.
+    fn peek_feed(&self) -> Option<SimTime> {
+        match self.par.as_deref() {
+            Some(p) => p.own.get(p.pos).map(|&i| self.trace.records[i as usize].at),
+            None => self.trace.records.get(self.next_arrival).map(|r| r.at),
+        }
+    }
+
+    /// Consume the head of the arrival feed, returning the global trace
+    /// index of the record to process.
+    pub(super) fn pop_feed(&mut self) -> usize {
+        match self.par.as_deref_mut() {
+            Some(p) => {
+                let i = p.own[p.pos] as usize;
+                p.pos += 1;
+                i
+            }
+            None => {
+                let i = self.next_arrival;
+                self.next_arrival += 1;
+                i
+            }
+        }
+    }
+
+    /// Whether this simulator's feed still holds arrivals (the partition's
+    /// own share in a parallel run). Drives the destage-tick keep-alive and
+    /// the sampler.
+    pub(super) fn arrivals_remaining(&self) -> bool {
+        match self.par.as_deref() {
+            Some(p) => p.pos < p.own.len(),
+            None => self.next_arrival < self.trace.records.len(),
+        }
     }
 
     fn dispatch(&mut self, ev: Ev) {

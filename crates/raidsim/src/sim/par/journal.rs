@@ -1,0 +1,201 @@
+//! The partition→merge journal stream: flat-encoded chunks of exec frames
+//! and simulation notes, sent over a channel while the partition runs.
+//!
+//! Frames ride in [`simkit::FrameChunk`] (engine-level schedules/cancels);
+//! the per-event simulation effects ride in the matching [`NoteChunk`].
+//! Both are column encodings — per-event scalars plus shared spill arrays —
+//! so a chunk is a handful of flat allocations instead of two heap `Vec`s
+//! per event, and the merge walks contiguous memory while replaying.
+
+use super::*;
+
+/// Frames per chunk before it is flushed to the merge. Large enough to
+/// amortize the channel send, small enough that merging overlaps
+/// execution closely (a partition is never more than one chunk ahead of
+/// what the merge can see).
+pub(super) const CHUNK_FRAMES: usize = 1024;
+
+/// Flat encoding of a run of [`ParNote`]s, mirroring
+/// [`simkit::FrameChunk`]'s layout: one scalar row per event plus a shared
+/// spill array for the statistics pushes.
+#[derive(Default)]
+pub(super) struct NoteChunk {
+    /// Number of `pushes` entries belonging to each event.
+    pub(super) push_count: Vec<u32>,
+    pub(super) inflight_delta: Vec<i32>,
+    /// Bit 0: `is_arrive`; bit 1: `tick_resched` present; bit 2: its value.
+    pub(super) flags: Vec<u8>,
+    /// Concatenated statistics pushes, in event order then push order.
+    pub(super) pushes: Vec<StatPush>,
+}
+
+impl NoteChunk {
+    /// Append `note`'s contents and reset it for the next event (the
+    /// note's push buffer keeps its capacity, so steady-state journaling
+    /// does not allocate).
+    pub(super) fn push_note(&mut self, note: &mut ParNote) {
+        self.push_count.push(note.pushes.len() as u32);
+        self.inflight_delta.push(note.inflight_delta);
+        let mut flags = u8::from(note.is_arrive);
+        if let Some(resched) = note.tick_resched {
+            flags |= 0b010 | (u8::from(resched) << 2);
+        }
+        self.flags.push(flags);
+        self.pushes.append(&mut note.pushes);
+        note.inflight_delta = 0;
+        note.is_arrive = false;
+        note.tick_resched = None;
+    }
+
+    /// Resident size of the encoded notes in bytes (buffer contents, not
+    /// capacity).
+    pub(super) fn bytes(&self) -> usize {
+        self.push_count.len() * size_of::<u32>()
+            + self.inflight_delta.len() * size_of::<i32>()
+            + self.flags.len()
+            + self.pushes.len() * size_of::<StatPush>()
+    }
+}
+
+/// One message on a partition's journal channel, in stream order: the root
+/// schedule frame, then frame/note chunks as they fill, then the final
+/// hardware state.
+pub(super) enum ParMsg {
+    Roots(simkit::ExecFrame),
+    Chunk(FrameChunk, NoteChunk),
+    Done(Box<PartFinal>),
+}
+
+/// Everything a finished partition hands to the merge besides its journal:
+/// the final state of the hardware it owned plus its instrumentation
+/// counters.
+pub(super) struct PartFinal {
+    pub(super) disks: Vec<Disk>,
+    pub(super) channels: Vec<Channel>,
+    pub(super) caches: Vec<NvCache>,
+    pub(super) spools: Vec<ParitySpool>,
+    pub(super) disk_counts: DiskCounters,
+    pub(super) disk_ops: u64,
+    pub(super) buffer_waits: u64,
+    pub(super) spool_stalls: u64,
+    pub(super) fault: Option<FaultState>,
+    pub(super) events_processed: u64,
+    pub(super) peak_pending: usize,
+    pub(super) arrivals_owned: u64,
+    pub(super) journal_frames: u64,
+    pub(super) journal_bytes: u64,
+}
+
+/// One journaled event, viewed inside a chunk: the engine frame's fields
+/// zipped with the matching note's.
+pub(super) struct FrameRef<'a> {
+    pub(super) at: SimTime,
+    pub(super) children: &'a [SimTime],
+    pub(super) cancels: &'a [u64],
+    pub(super) pushes: &'a [StatPush],
+    pub(super) inflight_delta: i32,
+    pub(super) is_arrive: bool,
+    pub(super) tick_resched: Option<bool>,
+}
+
+/// The merge's view of one partition's journal: the receiving end of the
+/// channel plus the chunk currently being consumed. `next_frame` blocks on
+/// the channel only when the current chunk is exhausted, so a merge that
+/// keeps up with the producers waits exactly where the data dependency is.
+pub(super) struct PartStream {
+    rx: mpsc::Receiver<ParMsg>,
+    frames: FrameChunk,
+    notes: NoteChunk,
+    /// Next frame index within the current chunk.
+    i: usize,
+    child_pos: usize,
+    cancel_pos: usize,
+    push_pos: usize,
+}
+
+impl PartStream {
+    pub(super) fn new(rx: mpsc::Receiver<ParMsg>) -> PartStream {
+        PartStream {
+            rx,
+            frames: FrameChunk::default(),
+            notes: NoteChunk::default(),
+            i: 0,
+            child_pos: 0,
+            cancel_pos: 0,
+            push_pos: 0,
+        }
+    }
+
+    /// Receive the partition's root schedule frame (always its first
+    /// message).
+    pub(super) fn recv_roots(&mut self) -> simkit::ExecFrame {
+        match self.rx.recv() {
+            Ok(ParMsg::Roots(f)) => f,
+            // A journal-protocol violation or a dead partition must abort the
+            // merge — a partial merge would fabricate results.
+            Ok(_) => panic!("partition sent journal data before its roots"),
+            Err(_) => panic!("partition thread died before sending its roots"),
+        }
+    }
+
+    /// True when the current chunk still holds unconsumed frames (used by
+    /// the merge's exhaustion check — it must not block there).
+    pub(super) fn has_buffered_frames(&self) -> bool {
+        self.i < self.frames.len()
+    }
+
+    /// The next journaled event, receiving the next chunk from the
+    /// partition if the current one is exhausted (blocking until the
+    /// partition produces it).
+    pub(super) fn next_frame(&mut self) -> FrameRef<'_> {
+        if self.i == self.frames.len() {
+            match self.rx.recv() {
+                Ok(ParMsg::Chunk(frames, notes)) => {
+                    self.frames = frames;
+                    self.notes = notes;
+                    self.i = 0;
+                    self.child_pos = 0;
+                    self.cancel_pos = 0;
+                    self.push_pos = 0;
+                }
+                // The merge demanded a frame the partition never journaled —
+                // a desync that must stop the run.
+                Ok(_) => panic!("partition journal ended while the merge expected more events"),
+                Err(_) => panic!("partition thread died mid-journal"),
+            }
+        }
+        let i = self.i;
+        let nchildren = self.frames.child_count[i] as usize;
+        let ncancels = self.frames.cancel_count[i] as usize;
+        let npushes = self.notes.push_count[i] as usize;
+        let f = FrameRef {
+            at: self.frames.at[i],
+            children: &self.frames.children[self.child_pos..self.child_pos + nchildren],
+            cancels: &self.frames.cancels[self.cancel_pos..self.cancel_pos + ncancels],
+            pushes: &self.notes.pushes[self.push_pos..self.push_pos + npushes],
+            inflight_delta: self.notes.inflight_delta[i],
+            is_arrive: self.notes.flags[i] & 0b001 != 0,
+            tick_resched: (self.notes.flags[i] & 0b010 != 0)
+                .then(|| self.notes.flags[i] & 0b100 != 0),
+        };
+        self.i += 1;
+        self.child_pos += nchildren;
+        self.cancel_pos += ncancels;
+        self.push_pos += npushes;
+        f
+    }
+
+    /// Receive the partition's final state. Must be called only after the
+    /// replay consumed every journaled frame; a remaining chunk on the
+    /// channel means the merge's symbolic order diverged.
+    pub(super) fn finish(self) -> Box<PartFinal> {
+        debug_assert!(!self.has_buffered_frames(), "finish with buffered frames");
+        match self.rx.recv() {
+            Ok(ParMsg::Done(fin)) => fin,
+            // Journaled events the merge never consumed — a desync that
+            // must stop the run.
+            Ok(_) => panic!("partition journaled events the merge never consumed"),
+            Err(_) => panic!("partition thread died before finishing"),
+        }
+    }
+}

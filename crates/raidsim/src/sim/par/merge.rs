@@ -1,0 +1,386 @@
+//! The streaming commit-order merge: replays partition journals in the
+//! exact serial global order, grafts final hardware state, and assembles
+//! the report (see the module docs in `par/mod.rs` for the full argument).
+
+use super::journal::{FrameRef, PartStream};
+use super::*;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A symbolic partition-internal event in the merge's replayed global
+/// order. Ordering is `(at, gseq)` — exactly the event queue's
+/// `(time, schedule seq)` tie rule — inverted so a max-heap pops the
+/// earliest. Arrivals are *not* heap entries: the merge interleaves the
+/// global arrival stream against the heap with the same comparison the
+/// serial loop's `next_step` uses.
+struct Sym {
+    at: SimTime,
+    gseq: u64,
+    kind: SymKind,
+}
+
+#[derive(Clone, Copy)]
+enum SymKind {
+    /// An event owned by one partition, tagged with its schedule ordinal
+    /// there (for cancel matching).
+    Local { part: usize, ord: u64 },
+    /// A serial-only trailing destage tick (see module docs): consumes no
+    /// frame, schedules nothing but its successor.
+    VirtualTick,
+}
+
+impl PartialEq for Sym {
+    fn eq(&self, other: &Sym) -> bool {
+        self.at == other.at && self.gseq == other.gseq
+    }
+}
+impl Eq for Sym {}
+impl PartialOrd for Sym {
+    fn partial_cmp(&self, other: &Sym) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Sym {
+    fn cmp(&self, other: &Sym) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest.
+        (other.at, other.gseq).cmp(&(self.at, self.gseq))
+    }
+}
+
+impl<'t> Simulator<'t> {
+    /// Replay the partitions' journal streams in the serial global order
+    /// (consuming each chunk as its producer sends it), graft their final
+    /// hardware state onto this (never-run) simulator, and assemble the
+    /// report.
+    pub(super) fn merge(
+        mut self,
+        ranges: &[(u32, u32)],
+        mut streams: Vec<PartStream>,
+    ) -> (SimReport, RunStats) {
+        let nparts = streams.len();
+        let records = &self.trace.records;
+        let part_of = |array: u32| -> usize {
+            ranges
+                .iter()
+                .position(|&(lo, hi)| (lo..hi).contains(&array))
+                // simlint::allow(panic-policy): every array is covered by construction of `ranges`
+                .expect("array not covered by any partition")
+        };
+
+        // --- Symbolic roots, in the serial scheduling order -------------
+        // Arrivals are fed, not scheduled, so the roots are the destage
+        // ticks (global array order) then the injected fault events —
+        // identical to the serial loop and, filtered per owner, to each
+        // partition's own root frame (asserted below).
+        let mut heap: BinaryHeap<Sym> = BinaryHeap::new();
+        let mut gseq: u64 = 0;
+        // Next schedule ordinal per partition.
+        let mut ordc: Vec<u64> = vec![0; nparts];
+        let has_cache = self.cfg.cache.is_some();
+        if has_cache {
+            let tick0 = SimTime::from_ns(self.destage_period_ns);
+            for a in 0..self.arrays {
+                let p = part_of(a);
+                heap.push(Sym {
+                    at: tick0,
+                    gseq,
+                    kind: SymKind::Local {
+                        part: p,
+                        ord: ordc[p],
+                    },
+                });
+                gseq += 1;
+                ordc[p] += 1;
+            }
+        }
+        if let Some(fs) = self.fault.as_ref() {
+            for e in fs.plan.events() {
+                if let FaultEvent::DiskFail { array, at, .. } = *e {
+                    let p = part_of(array);
+                    heap.push(Sym {
+                        at,
+                        gseq,
+                        kind: SymKind::Local {
+                            part: p,
+                            ord: ordc[p],
+                        },
+                    });
+                    gseq += 1;
+                    ordc[p] += 1;
+                }
+            }
+        }
+        for (p, stream) in streams.iter_mut().enumerate() {
+            let roots = stream.recv_roots();
+            assert_eq!(
+                roots.children.len() as u64,
+                ordc[p],
+                "partition {p} scheduled an unexpected root set"
+            );
+        }
+
+        // --- Replay -----------------------------------------------------
+        let mut cancelled: std::collections::BTreeSet<(usize, u64)> = Default::default();
+        let mut arrive_idx = 0usize;
+        let mut global_inflight: i64 = 0;
+        let mut last_time = SimTime::ZERO;
+        let mut merged_events = 0u64;
+        let period = self.destage_period_ns;
+
+        loop {
+            // Cancelled symbolic events never executed, serially or in
+            // their partition; drain them off the top so the feed/queue
+            // comparison below sees the next *live* queue time.
+            while let Some(sym) = heap.peek() {
+                let SymKind::Local { part, ord } = sym.kind else {
+                    break;
+                };
+                if !cancelled.remove(&(part, ord)) {
+                    break;
+                }
+                heap.pop();
+            }
+            // The serial loop's interleaving rule (`Simulator::next_step`):
+            // the arrival feed's head fires before queue events at the same
+            // instant.
+            let arrival = records.get(arrive_idx).map(|r| r.at);
+            let queued = heap.peek().map(|s| s.at);
+            let take_arrival = match (arrival, queued) {
+                (Some(a), Some(q)) => a <= q,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            merged_events += 1;
+            if take_arrival {
+                // simlint::allow(panic-policy): guarded by `take_arrival`
+                let at = arrival.expect("arrival head");
+                let rec = records[arrive_idx];
+                let owner = part_of(rec.disk / self.n);
+                let f = streams[owner].next_frame();
+                assert!(
+                    f.is_arrive && f.at == at,
+                    "partition {owner} desynced at arrival {arrive_idx}: \
+                     frame at {:?}, expected arrival at {at:?}",
+                    f.at,
+                );
+                global_inflight += f.inflight_delta as i64;
+                Self::push_children(f.children, owner, &mut heap, &mut gseq, &mut ordc);
+                for &c in f.cancels {
+                    cancelled.insert((owner, c));
+                }
+                let pushes: &[StatPush] = f.pushes;
+                for push in pushes {
+                    self.apply_push(push);
+                }
+                last_time = at;
+                arrive_idx += 1;
+            } else {
+                // simlint::allow(panic-policy): guarded by `take_arrival`
+                let sym = heap.pop().expect("queued head");
+                last_time = sym.at;
+                match sym.kind {
+                    SymKind::Local { part: p, .. } => {
+                        let f = streams[p].next_frame();
+                        assert!(
+                            !f.is_arrive && f.at == sym.at,
+                            "partition {p} desynced: frame at {:?}, expected {:?}",
+                            f.at,
+                            sym.at
+                        );
+                        global_inflight += f.inflight_delta as i64;
+                        Self::push_children(f.children, p, &mut heap, &mut gseq, &mut ordc);
+                        for &c in f.cancels {
+                            cancelled.insert((p, c));
+                        }
+                        let FrameRef {
+                            pushes,
+                            tick_resched,
+                            ..
+                        } = f;
+                        for push in pushes {
+                            self.apply_push(push);
+                        }
+                        // A tick that ended its local chain while global
+                        // work remains: the serial run would have kept
+                        // ticking idly.
+                        if tick_resched == Some(false)
+                            && (arrive_idx < records.len() || global_inflight > 0)
+                        {
+                            heap.push(Sym {
+                                at: SimTime::from_ns(sym.at.as_ns() + period),
+                                gseq,
+                                kind: SymKind::VirtualTick,
+                            });
+                            gseq += 1;
+                        }
+                    }
+                    SymKind::VirtualTick => {
+                        // The serial tick at this time finds nothing dirty
+                        // (its array went idle when its partition's chain
+                        // ended) and reschedules while arrivals or
+                        // in-flight work remain.
+                        if arrive_idx < records.len() || global_inflight > 0 {
+                            heap.push(Sym {
+                                at: SimTime::from_ns(sym.at.as_ns() + period),
+                                gseq,
+                                kind: SymKind::VirtualTick,
+                            });
+                            gseq += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            arrive_idx,
+            records.len(),
+            "merge did not reach every arrival"
+        );
+        assert_eq!(global_inflight, 0, "merged run left requests in flight");
+        for (p, stream) in streams.iter().enumerate() {
+            assert!(
+                !stream.has_buffered_frames(),
+                "partition {p} journaled events the merge never consumed"
+            );
+        }
+
+        // --- Graft final hardware state ---------------------------------
+        let mut events_processed = 0;
+        let mut peak_pending = 0;
+        let mut journal_bytes = 0;
+        let mut partitions = Vec::with_capacity(nparts);
+        for (p, stream) in streams.into_iter().enumerate() {
+            let mut part = stream.finish();
+            let (lo, hi) = ranges[p];
+            for a in lo..hi {
+                let ai = a as usize;
+                std::mem::swap(&mut self.channels[ai], &mut part.channels[ai]);
+                if !self.caches.is_empty() {
+                    std::mem::swap(&mut self.caches[ai], &mut part.caches[ai]);
+                }
+                if !self.spools.is_empty() {
+                    std::mem::swap(&mut self.spools[ai], &mut part.spools[ai]);
+                }
+            }
+            for g in (lo * self.dpa)..(hi * self.dpa) {
+                let gi = g as usize;
+                std::mem::swap(&mut self.disks[gi], &mut part.disks[gi]);
+                self.disk_counts.add(gi, part.disk_counts.counts()[gi]);
+            }
+            self.disk_ops += part.disk_ops;
+            self.buffer_waits += part.buffer_waits;
+            self.spool_stalls += part.spool_stalls;
+            events_processed += part.events_processed;
+            peak_pending = peak_pending.max(part.peak_pending);
+            journal_bytes += part.journal_bytes;
+            partitions.push(PartStats {
+                arrays: (lo, hi),
+                arrivals_owned: part.arrivals_owned,
+                events_processed: part.events_processed,
+                journal_frames: part.journal_frames,
+                journal_bytes: part.journal_bytes,
+            });
+            // Fault counters live with the partition that owned the failure
+            // (only it aborted, re-planned, or rebuilt anything); the
+            // per-window response accumulators were already replayed above.
+            if let (Some(dst), Some(f)) = (self.fault.as_mut(), part.fault.as_ref()) {
+                if f.failed_at.is_some() {
+                    dst.failed_at = f.failed_at;
+                    dst.healthy_at = f.healthy_at;
+                    dst.rebuild_started = f.rebuild_started;
+                    dst.rebuild_done = f.rebuild_done;
+                    dst.rebuild_active = f.rebuild_active;
+                    dst.rebuild_cursor = f.rebuild_cursor;
+                    dst.step_started = f.step_started;
+                    dst.rebuild_blocks = f.rebuild_blocks;
+                    dst.transient_errors = f.transient_errors;
+                    dst.retries = f.retries;
+                    dst.escalations = f.escalations;
+                    dst.ops_aborted = f.ops_aborted;
+                    dst.ops_replayed = f.ops_replayed;
+                    dst.writes_written_through = f.writes_written_through;
+                }
+            }
+        }
+        self.engine.fast_forward(last_time);
+        let stats = RunStats {
+            events_processed,
+            peak_pending,
+            partitions,
+            journal_bytes,
+            // The only serial events no partition executed are the virtual
+            // trailing ticks, so this is ≤ 1.0 by construction; it is the
+            // measured refutation of the old replicated-arrival design's
+            // ~nparts× replay cost.
+            replay_amplification: if merged_events > 0 {
+                events_processed as f64 / merged_events as f64
+            } else {
+                1.0
+            },
+        };
+        (self.report(), stats)
+    }
+
+    /// Turn one frame's children into symbolic heap events with
+    /// serial-order sequence numbers (a free function over the merge's
+    /// loop state so the `FrameRef` borrow of the stream stays disjoint).
+    fn push_children(
+        children: &[SimTime],
+        part: usize,
+        heap: &mut BinaryHeap<Sym>,
+        gseq: &mut u64,
+        ordc: &mut [u64],
+    ) {
+        for &child_at in children {
+            let ord = ordc[part];
+            ordc[part] += 1;
+            heap.push(Sym {
+                at: child_at,
+                gseq: *gseq,
+                kind: SymKind::Local { part, ord },
+            });
+            *gseq += 1;
+        }
+    }
+
+    /// Replay one journaled statistics push — the same sequence of
+    /// accumulator operations `finalize_request` / `try_start` performed,
+    /// with the same operands, now in merged order.
+    fn apply_push(&mut self, push: &StatPush) {
+        match *push {
+            StatPush::Complete {
+                ms,
+                is_read,
+                window,
+                ref phase,
+            } => {
+                self.resp_all.push(ms);
+                self.hist.record(ms);
+                self.completed += 1;
+                if let Some(f) = self.fault.as_mut() {
+                    match window {
+                        0 => f.resp_healthy.push(ms),
+                        1 => f.resp_degraded.push(ms),
+                        _ => f.resp_rebuilding.push(ms),
+                    }
+                }
+                if is_read {
+                    self.resp_reads.push(ms);
+                    self.completed_reads += 1;
+                    self.phase_reads.push(phase);
+                } else {
+                    self.resp_writes.push(ms);
+                    self.completed_writes += 1;
+                    self.phase_writes.push(phase);
+                }
+            }
+            StatPush::QDepth(depths) => {
+                for (i, &d) in depths.iter().enumerate() {
+                    self.sched_qdepth[i].push(d);
+                }
+            }
+            StatPush::Seek(d) => self.sched_seek_cyl.push(d),
+        }
+    }
+}

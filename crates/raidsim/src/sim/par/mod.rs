@@ -1,0 +1,360 @@
+//! Deterministic intra-run parallelism: partitioned execution with an
+//! exact streaming commit-order merge.
+//!
+//! Arrays interact only through the shared trace (Section 3.2): no disk,
+//! channel, buffer pool, cache, or spool is shared between redundancy
+//! groups, and a request touches exactly one array. That makes the event
+//! timeline *partitionable*: split the arrays into contiguous groups and
+//! give each group to a thread running a full [`Simulator`] over **its own
+//! share of the arrival stream**. The trace is pre-split once at setup
+//! ([`tracegen::ArrivalSplit`]) into per-partition index lists, so a
+//! partition feeds exactly the records it owns — it never scans, stubs, or
+//! even touches a foreign arrival, and its work is proportional to its own
+//! event count rather than the whole trace. This works because the serial
+//! event loop itself consumes arrivals from a time-sorted feed rather than
+//! the event queue ([`Simulator::next_step`]): the interleaving rule
+//! ("arrival fires before queue events at the same instant") is a pure
+//! function of the arrival time and the partition's own queue, identical
+//! whether the feed holds the global stream or one partition's slice of
+//! it. This is conservative parallel discrete-event simulation where the
+//! partitioning argument is structural, so no synchronization is ever
+//! needed during execution.
+//!
+//! Determinism is not assumed — it is *replayed and checked*. Each
+//! partition records an [`ExecFrame`] (child schedule times, cancels) plus
+//! a [`ParNote`] (statistics pushes, in-flight delta) per executed event,
+//! flat-encoded into column chunks ([`simkit::FrameChunk`] /
+//! [`journal::NoteChunk`]) and **streamed over a channel while the
+//! partition is still running**. The merge, running concurrently on the
+//! calling thread, reconstructs the serial run's global event order
+//! symbolically: a priority queue keyed by `(time, global schedule seq)`
+//! holds partition-internal events, interleaved against the global arrival
+//! stream by the same tie rule the serial loop uses; each step consumes
+//! the owning partition's next journal frame (asserting the times agree —
+//! a desync is a bug, not a tolerance) and turns the frame's children into
+//! new symbolic events with serial-order sequence numbers. Statistics
+//! pushes are replayed into fresh accumulators in merged order, so every
+//! order-sensitive accumulator (Welford, histogram) receives bit-identical
+//! operands in the serial sequence and the final report serializes
+//! byte-for-byte equal to the serial run's.
+//!
+//! One asymmetry needs care: **destage ticks** reschedule themselves while
+//! *global* work remains, but a partition only sees its own arrivals and
+//! in-flight count, so its local chain can end while the serial chain
+//! would keep ticking (idle ticks that schedule nothing but their
+//! successor — once a partition's chain ends, its arrays receive no new
+//! dirty blocks, so the serial ticks it skipped were provably idle). The
+//! merge extends such chains *virtually*, reproducing the serial run's
+//! trailing ticks — and its final clock value, which the report's
+//! utilization denominators use.
+//!
+//! Runs that observe global state mid-run (periodic sampler, event log)
+//! or couple arrays through the controller (battery failover flushes every
+//! cache; transient-error escalation consults the global failed-disk
+//! gate) are not partitionable and fall back to the serial path — with
+//! one exception: a single injected disk failure is fine, because every
+//! consequence (aborts, degraded planning, rebuild) is confined to the
+//! failed array's partition.
+
+mod journal;
+mod merge;
+
+use super::*;
+use crate::report::PhaseSample as Phase;
+use journal::{NoteChunk, ParMsg, PartFinal, PartStream, CHUNK_FRAMES};
+use simkit::FrameChunk;
+use std::sync::mpsc;
+
+/// Partition-mode state hung off the [`Simulator`]: the owned array range,
+/// the pre-split arrival feed, and the journal note for the event
+/// currently executing.
+pub(super) struct ParState {
+    /// First owned array.
+    pub(super) lo: u32,
+    /// One past the last owned array.
+    pub(super) hi: u32,
+    /// Global trace indices of the arrivals this partition owns, ascending
+    /// (one slice of the [`tracegen::ArrivalSplit`]).
+    pub(super) own: Vec<u32>,
+    /// Feed cursor into `own`.
+    pub(super) pos: usize,
+    pub(super) note: ParNote,
+}
+
+/// What one executed event did at the simulation layer (the engine-level
+/// [`ExecFrame`] covers schedules/cancels): every statistics push, the
+/// in-flight delta, and the markers the merge keys off.
+#[derive(Default)]
+pub(super) struct ParNote {
+    pub(super) pushes: Vec<StatPush>,
+    pub(super) inflight_delta: i32,
+    /// This event was a trace-arrival event.
+    pub(super) is_arrive: bool,
+    /// This event was a destage tick; the payload is whether it rescheduled
+    /// itself (its local work-left decision).
+    pub(super) tick_resched: Option<bool>,
+}
+
+/// One order-sensitive statistics push, journaled with the exact operands
+/// so the merge can replay it bit-identically in merged order.
+pub(super) enum StatPush {
+    /// A request finished: response-time, histogram, per-window, and phase
+    /// pushes all derive from these four values in a fixed sequence.
+    Complete {
+        ms: f64,
+        is_read: bool,
+        window: u8,
+        phase: Phase,
+    },
+    /// Per-band queue depths observed at one dispatch decision.
+    QDepth([f64; 3]),
+    /// Arm travel of one dispatched op.
+    Seek(f64),
+}
+
+impl<'t> Simulator<'t> {
+    /// Run to completion, executing the arrays' timelines on up to
+    /// `threads` worker threads when the configuration permits, and
+    /// produce a report byte-identical to [`Simulator::run`]'s.
+    ///
+    /// Falls back to the serial path (identical results, one thread) when
+    /// `threads <= 1` or the run is not partitionable — see
+    /// [`Simulator::partitionable`].
+    pub fn run_par(self, threads: usize) -> SimReport {
+        self.run_par_instrumented(threads).0
+    }
+
+    /// [`Simulator::run_par`] plus engine counters and whether the run
+    /// actually executed in parallel. For a parallel run the [`RunStats`]
+    /// carry per-partition instrumentation: arrival share, events
+    /// executed, journal frames/bytes, and the replay-amplification factor
+    /// (events executed across partitions ÷ merged serial-order events —
+    /// at most 1.0 with the pre-split feed, since the only serial events
+    /// no partition executes are trailing idle destage ticks).
+    pub fn run_par_instrumented(self, threads: usize) -> (SimReport, RunStats, bool) {
+        if threads <= 1 || !self.partitionable() {
+            let (report, stats) = self.run_instrumented();
+            return (report, stats, false);
+        }
+        let nparts = threads.min(self.arrays as usize);
+        let ranges = partition_ranges(self.arrays, nparts);
+        let trace = self.trace;
+        let n = self.n;
+        let mut owner_of = vec![0usize; self.arrays as usize];
+        for (p, &(lo, hi)) in ranges.iter().enumerate() {
+            for a in lo..hi {
+                owner_of[a as usize] = p;
+            }
+        }
+        // Pre-split the arrival stream: each partition gets exactly its own
+        // records' indices, in global trace order.
+        let mut split = trace.split_arrivals(nparts, |r| owner_of[(r.disk / n) as usize]);
+        // Partitions warm-start from this simulator's already-built disk
+        // models instead of re-deriving phases per drive per partition; the
+        // parent's own disks are later overwritten by the merge's hardware
+        // graft, so the clone here is the only per-run copy.
+        let warm = WarmDisks {
+            seed: self.cfg.seed,
+            geometry: self.cfg.geometry.clone(),
+            seek: self.cfg.seek,
+            disks: self.disks.clone(),
+        };
+        let (report, stats) = std::thread::scope(|s| {
+            let warm = &warm;
+            let mut streams = Vec::with_capacity(nparts);
+            for (p, &(lo, hi)) in ranges.iter().enumerate() {
+                let cfg = self.cfg.clone();
+                let own = split.take_group(p);
+                let (tx, rx) = mpsc::channel::<ParMsg>();
+                s.spawn(move || {
+                    let scope = PartScope {
+                        lo,
+                        hi,
+                        own_arrivals: own.len(),
+                    };
+                    // The parent simulator already validated this exact
+                    // configuration, so construction cannot fail.
+                    Simulator::try_new_inner(cfg, trace, Some(&scope), Some(warm))
+                        // simlint::allow(panic-policy): a partition panic must propagate — a partial merge would fabricate results
+                        .expect("partition rebuilds a validated config")
+                        .run_as_partition(lo, hi, own, tx);
+                });
+                streams.push(PartStream::new(rx));
+            }
+            // Merge on this thread, concurrently with the partitions: each
+            // journal chunk is replayed as soon as its producer sends it.
+            self.merge(&ranges, streams)
+        });
+        (report, stats, true)
+    }
+
+    /// Whether this run can be split into per-array-group partitions with
+    /// identical results. Disqualifiers are the features that observe or
+    /// mutate *global* state mid-run; each falls back to serial rather
+    /// than silently diverging.
+    fn partitionable(&self) -> bool {
+        self.arrays > 1
+            && !self.trace.records.is_empty()
+            // The sampler and event log observe all arrays at global times.
+            && self.sample_period_ns == 0
+            && self.event_log.is_none()
+            && self.fault.as_ref().is_none_or(|f| {
+                // Transient errors can escalate to a failure through a
+                // *global* single-failure gate; battery failover flushes
+                // every array's cache from one event. A single injected
+                // disk failure, by contrast, is wholly owned by the failed
+                // array's partition.
+                f.fcfg.transient_error_prob == 0.0
+                    && f.fcfg.battery_fail_at_ms.is_none()
+                    && f.fcfg.battery_restore_at_ms.is_none()
+            })
+    }
+
+    /// Execute this simulator as the partition owning arrays `lo..hi` and
+    /// the pre-split arrival indices `own`, streaming the journal over
+    /// `tx` in flat chunks as it is produced and the final hardware state
+    /// at the end.
+    fn run_as_partition(mut self, lo: u32, hi: u32, own: Vec<u32>, tx: mpsc::Sender<ParMsg>) {
+        let arrivals_owned = own.len() as u64;
+        self.par = Some(Box::new(ParState {
+            lo,
+            hi,
+            own,
+            pos: 0,
+            note: ParNote::default(),
+        }));
+        self.engine.set_recording(true);
+        // Roots in the serial scheduling order, filtered to what this
+        // partition owns: its destage ticks, then its fault events. No
+        // arrival root — arrivals come from the pre-split feed.
+        if self.cfg.cache.is_some() {
+            for a in lo..hi {
+                self.engine
+                    .schedule_after(self.destage_period_ns, Ev::DestageTick { array: a });
+            }
+        }
+        let fault_evs: Vec<(SimTime, FaultKind)> = match self.fault.as_ref() {
+            Some(fs) => fs
+                .plan
+                .events()
+                .iter()
+                .filter_map(|e| match *e {
+                    FaultEvent::DiskFail { array, disk, at } if (lo..hi).contains(&array) => {
+                        Some((
+                            at,
+                            FaultKind::DiskFail {
+                                gdisk: array * self.dpa + disk,
+                            },
+                        ))
+                    }
+                    // Foreign disk failures belong to their own partition;
+                    // battery events are excluded by `partitionable`.
+                    _ => None,
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        for (at, kind) in fault_evs {
+            self.engine.schedule_at(at, Ev::Fault(kind));
+        }
+        // A send only fails when the merge dropped its receiver, which it
+        // does solely while panicking; the partition just finishes quietly
+        // then — the scope join propagates the merge's panic.
+        let _ = tx.send(ParMsg::Roots(self.engine.take_frame()));
+
+        let mut frames = FrameChunk::default();
+        let mut notes = NoteChunk::default();
+        let mut journal_frames = 0u64;
+        let mut journal_bytes = 0u64;
+        while let Some(ev) = self.next_step() {
+            self.dispatch(ev);
+            self.engine.flush_frame(&mut frames);
+            // simlint::allow(panic-policy): partition mode was set above; losing it is unreachable
+            notes.push_note(&mut self.par.as_deref_mut().expect("partition mode").note);
+            if frames.len() >= CHUNK_FRAMES {
+                journal_frames += frames.len() as u64;
+                journal_bytes += (frames.bytes() + notes.bytes()) as u64;
+                let _ = tx.send(ParMsg::Chunk(
+                    std::mem::take(&mut frames),
+                    std::mem::take(&mut notes),
+                ));
+            }
+        }
+        debug_assert!(!self.arrivals_remaining(), "partition feed not drained");
+        debug_assert_eq!(self.inflight, 0, "partition left requests in flight");
+        debug_assert_eq!(self.ops.len(), 0, "partition leaked disk ops");
+        if !frames.is_empty() {
+            journal_frames += frames.len() as u64;
+            journal_bytes += (frames.bytes() + notes.bytes()) as u64;
+            let _ = tx.send(ParMsg::Chunk(frames, notes));
+        }
+
+        let Simulator {
+            engine,
+            disks,
+            channels,
+            caches,
+            spools,
+            disk_counts,
+            disk_ops,
+            buffer_waits,
+            spool_stalls,
+            fault,
+            ..
+        } = self;
+        let _ = tx.send(ParMsg::Done(Box::new(PartFinal {
+            disks,
+            channels,
+            caches,
+            spools,
+            disk_counts,
+            disk_ops,
+            buffer_waits,
+            spool_stalls,
+            fault,
+            events_processed: engine.events_processed(),
+            peak_pending: engine.peak_pending(),
+            arrivals_owned,
+            journal_frames,
+            journal_bytes,
+        })));
+    }
+}
+
+/// Split `arrays` into `nparts` contiguous, maximally balanced ranges.
+fn partition_ranges(arrays: u32, nparts: usize) -> Vec<(u32, u32)> {
+    let nparts = nparts as u32;
+    let base = arrays / nparts;
+    let rem = arrays % nparts;
+    let mut out = Vec::with_capacity(nparts as usize);
+    let mut lo = 0;
+    for i in 0..nparts {
+        let hi = lo + base + u32::from(i < rem);
+        out.push((lo, hi));
+        lo = hi;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::partition_ranges;
+
+    #[test]
+    fn ranges_cover_everything_contiguously() {
+        for arrays in 1..40u32 {
+            for nparts in 1..=arrays as usize {
+                let r = partition_ranges(arrays, nparts);
+                assert_eq!(r.len(), nparts);
+                assert_eq!(r[0].0, 0);
+                assert_eq!(r.last().unwrap().1, arrays);
+                for w in r.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "gap between partitions");
+                }
+                let sizes: Vec<u32> = r.iter().map(|&(lo, hi)| hi - lo).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "unbalanced split: {sizes:?}");
+            }
+        }
+    }
+}

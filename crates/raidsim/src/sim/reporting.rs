@@ -267,7 +267,7 @@ impl<'t> Simulator<'t> {
         ts.push(now_ns, row);
         self.last_sample_ns = now_ns;
 
-        let work_left = self.next_arrival < self.trace.records.len()
+        let work_left = self.arrivals_remaining()
             || self.inflight > 0
             || self.caches.iter().any(|c| c.dirty_count() > 0)
             || self.spools.iter().any(|s| !s.is_empty())

@@ -1,12 +1,15 @@
 //! Parallel parameter sweeps.
 //!
 //! Every experiment in the paper is a grid of independent simulations
-//! (organizations × array sizes × cache sizes × …). Runs share nothing, so
-//! they parallelize perfectly across threads.
+//! (organizations × array sizes × cache sizes × …). Runs share no mutable
+//! state, so they parallelize perfectly across threads; the immutable
+//! inputs — the parsed trace and a warm pool of calibrated disk models —
+//! are built once and shared by reference across every point instead of
+//! being rebuilt per point.
 
 use crate::config::SimConfig;
 use crate::report::SimReport;
-use crate::sim::Simulator;
+use crate::sim::{Simulator, WarmDisks};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use tracegen::Trace;
 
@@ -63,6 +66,24 @@ pub fn run_all(runs: &[NamedRun<'_>], threads: usize) -> Vec<(String, Result<Sim
     let workers = threads.min(runs.len()).max(1);
     let cursor = AtomicUsize::new(0);
 
+    // Warm-start fix: disk models are a pure function of (seed, geometry,
+    // seek, index), yet every point used to recalibrate its own copies.
+    // Build one pool sized for the largest grid point and share it across
+    // the sweep; points whose parameters differ from the pool's fall back
+    // to cold construction inside `try_new_warm` (byte-identical either
+    // way). Invalid points (size 0 here) surface their error at `try_new`.
+    let pool_size = |r: &NamedRun<'_>| {
+        if r.config.data_disks_per_array == 0 {
+            0
+        } else {
+            r.config.total_disks(r.trace.n_disks)
+        }
+    };
+    let warm = runs
+        .iter()
+        .max_by_key(|r| pool_size(r))
+        .map(|r| WarmDisks::new(&r.config, pool_size(r)));
+
     // Workers return locally collected (index, result) pairs; a worker
     // panic propagates at scope join. Indexed collection keeps the merge
     // lock-free without sharing mutable slots across threads.
@@ -79,7 +100,13 @@ pub fn run_all(runs: &[NamedRun<'_>], threads: usize) -> Vec<(String, Result<Sim
                         // Contain a panicking point to its own result slot;
                         // the worker lives on to claim the remaining points.
                         let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            Simulator::try_new(run.config.clone(), run.trace).map(|s| s.run())
+                            match warm.as_ref() {
+                                Some(w) => {
+                                    Simulator::try_new_warm(run.config.clone(), run.trace, w)
+                                }
+                                None => Simulator::try_new(run.config.clone(), run.trace),
+                            }
+                            .map(|s| s.run())
                         }))
                         .unwrap_or_else(|payload| {
                             let msg = payload
@@ -182,6 +209,42 @@ mod tests {
                     "run {i} differs from serial at {threads} threads"
                 );
             }
+        }
+    }
+
+    /// The shared warm-disk pool is an optimization, never a correctness
+    /// input: a grid mixing seeds (so only some points match the pool's
+    /// parameters and the rest fall back to cold construction) must return
+    /// every point byte-identical to its own cold serial run.
+    #[test]
+    fn warm_started_points_match_cold_runs_across_mixed_seeds() {
+        let trace = SynthSpec::trace2().scaled(0.005).generate();
+        let mk = |org: Organization, seed: u64| {
+            let mut cfg = SimConfig::with_organization(org);
+            cfg.seed = seed;
+            cfg
+        };
+        let runs = vec![
+            NamedRun::new("base-s7", mk(Organization::Base, 7), &trace),
+            NamedRun::new("mirror-s7", mk(Organization::Mirror, 7), &trace),
+            NamedRun::new("base-s11", mk(Organization::Base, 11), &trace),
+            NamedRun::new(
+                "raid5-s11",
+                mk(Organization::Raid5 { striping_unit: 1 }, 11),
+                &trace,
+            ),
+        ];
+        let cold: Vec<String> = runs
+            .iter()
+            .map(|r| format!("{:#?}", Simulator::new(r.config.clone(), r.trace).run()))
+            .collect();
+        let out = run_all(&runs, 2);
+        for (i, (label, report)) in out.iter().enumerate() {
+            assert_eq!(
+                format!("{:#?}", report.as_ref().unwrap()),
+                cold[i],
+                "{label} diverged from its cold run"
+            );
         }
     }
 

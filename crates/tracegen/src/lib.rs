@@ -33,9 +33,11 @@ pub mod characterize;
 pub mod fmt;
 pub mod record;
 pub mod sampler;
+pub mod split;
 pub mod synth;
 pub mod transform;
 
 pub use characterize::TraceStats;
 pub use record::{AccessType, Trace, TraceRecord};
+pub use split::ArrivalSplit;
 pub use synth::{RerefDist, SynthSpec};

@@ -59,7 +59,11 @@ fn parallel_reports_are_byte_identical_to_serial() {
     for org in organizations() {
         for cached in [false, true] {
             let serial = serial_report(config(org, cached), &trace);
-            for threads in [3, 16] {
+            // 2/4/8 exercise the pre-split arrival feed at even splits,
+            // 3 at a ragged split, 16 > 13 clamps to one array per
+            // partition; threads = 1 (serial fallback) is covered by
+            // `one_thread_and_one_array_fall_back_to_serial`.
+            for threads in [2, 3, 4, 8, 16] {
                 let (par, parallel) = par_report(config(org, cached), &trace, threads);
                 assert!(
                     parallel,
@@ -119,6 +123,88 @@ fn sampler_run_falls_back_but_stays_identical() {
     assert_eq!(par, serial);
 }
 
+/// The pre-split arrival feed is sound only if the split is an *exact*
+/// partition of the global trace: every record lands in exactly one
+/// group (no loss, no duplication), groups preserve global arrival
+/// order, and each record lands in the group its array's owner mapping
+/// names. Exercised over random traces and the same contiguous
+/// array→partition mapping `run_par` builds, across array counts and
+/// thread counts.
+mod presplit_prop {
+    use proptest::prelude::*;
+    use simkit::SimTime;
+    use tracegen::{AccessType, Trace, TraceRecord};
+
+    /// Mirror of the runner's partitioning: arrays in contiguous ranges,
+    /// `threads` clamped to the array count, remainder spread one-per-range
+    /// from the front.
+    fn owner_of(arrays: u32, threads: usize) -> Vec<usize> {
+        let nparts = threads.min(arrays as usize);
+        let base = arrays as usize / nparts;
+        let extra = arrays as usize % nparts;
+        let mut owners = Vec::with_capacity(arrays as usize);
+        for p in 0..nparts {
+            let width = base + usize::from(p < extra);
+            owners.extend(std::iter::repeat_n(p, width));
+        }
+        owners
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn split_is_an_exact_ordered_partition(
+            raw in proptest::collection::vec((0u64..20_000, 0u32..130), 0..200),
+            dpa in 1u32..=13,
+            threads in 1usize..=16,
+        ) {
+            let n_disks = 130u32;
+            let arrays = n_disks.div_ceil(dpa);
+            let mut trace = Trace::new(n_disks, 226_800);
+            let mut now = SimTime::ZERO;
+            for (gap_us, disk) in raw {
+                now += gap_us * 1_000;
+                trace.records.push(TraceRecord {
+                    at: now,
+                    disk,
+                    block: 0,
+                    nblocks: 1,
+                    kind: AccessType::Read,
+                });
+            }
+            let owners = owner_of(arrays, threads);
+            let nparts = threads.min(arrays as usize);
+            let split = trace.split_arrivals(nparts, |r| owners[(r.disk / dpa) as usize]);
+
+            // Exactly one group per record, preserving global order within
+            // each group — merging the groups back in index order must
+            // reproduce 0..len with no loss or duplication.
+            let mut seen = vec![0u32; trace.len()];
+            for g in 0..nparts {
+                let idxs = split.group(g);
+                prop_assert!(
+                    idxs.windows(2).all(|w| w[0] < w[1]),
+                    "group {g} reordered records: {idxs:?}"
+                );
+                for &i in idxs {
+                    seen[i as usize] += 1;
+                    let rec = &trace.records[i as usize];
+                    prop_assert_eq!(
+                        owners[(rec.disk / dpa) as usize], g,
+                        "record {} (disk {}) landed in group {} instead of its owner",
+                        i, rec.disk, g
+                    );
+                }
+            }
+            prop_assert!(
+                seen.iter().all(|&c| c == 1),
+                "lost or duplicated records: {seen:?}"
+            );
+        }
+    }
+}
+
 /// A mid-run disk failure with online rebuild is wholly owned by the
 /// failed array's partition: aborts, degraded re-plans, and rebuild
 /// interference must all merge back byte-identically — including the
@@ -146,7 +232,7 @@ fn fault_injected_parallel_run_matches_serial() {
                 cfg
             };
             let serial = serial_report(faulted(config(org, cached)), &trace);
-            for threads in [3, 16] {
+            for threads in [2, 4, 8, 16] {
                 let (par, parallel) = par_report(faulted(config(org, cached)), &trace, threads);
                 assert!(
                     parallel,
