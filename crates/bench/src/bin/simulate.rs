@@ -13,7 +13,7 @@
 
 use raidsim::{
     CacheConfig, Discipline, DiskFailure, FaultConfig, Organization, ParityPlacement, SimConfig,
-    Simulator, SyncPolicy,
+    Simulator, SparingMode, SyncPolicy,
 };
 use tracegen::{fmt, transform, SynthSpec, Trace};
 
@@ -49,7 +49,9 @@ fn die(msg: &str) -> ! {
          \t[--placement middle|end|rotated] [--band BLOCKS] [--sync si|rf|rfpr|df|dfpr]\n\
          \t[--sched fcfs|sstf|scan] [--sched-stats]\n\
          \t[--cache MB] [--destage MS] [--failed ARRAY:DISK]\n\
-         \t[--fail-disk [ARRAY:]DISK@TIME(s|ms)] [--spare|--no-spare] [--rebuild-rate MBPS]\n\
+         \t[--fail-disk [ARRAY:]DISK@TIME(s|ms)] [--second-fail [ARRAY:]DISK@TIME(s|ms)]\n\
+         \t[--spare|--no-spare] [--spares N] [--sparing hot|dist] [--rebuild-rate MBPS]\n\
+         \t[--latent-rate PER_DISK_HOUR] [--scrub-rate MBPS] [--allow-idle-faults]\n\
          \t[--transient-p F] [--max-retries N] [--battery-fail MS] [--battery-restore MS]\n\
          \t[--trace trace1|trace2] [--trace-file PATH] [--scale F] [--speed F] [--seed N]\n\
          \t[--phases] [--sample-ms MS] [--event-log PATH]"
@@ -148,11 +150,22 @@ fn main() {
     // --- fault timeline ---------------------------------------------------
     let wants_faults = args.get("--fail-disk").is_some()
         || args.get("--transient-p").is_some()
-        || args.get("--battery-fail").is_some();
+        || args.get("--battery-fail").is_some()
+        || args.get("--latent-rate").is_some()
+        || args.get("--scrub-rate").is_some();
     if wants_faults {
         let mut fault = FaultConfig {
             spare: !args.flag("--no-spare"),
+            spare_count: args.parse("--spares", 1),
+            sparing: match args.get("--sparing").unwrap_or("hot") {
+                "hot" => SparingMode::Hot,
+                "dist" | "distributed" => SparingMode::Distributed,
+                other => die(&format!("unknown sparing mode {other}")),
+            },
             rebuild_rate_mbps: args.parse("--rebuild-rate", 10),
+            latent_rate_per_hour: args.parse("--latent-rate", 0.0),
+            scrub_rate_mbps: args.parse("--scrub-rate", 0),
+            allow_idle_faults: args.flag("--allow-idle-faults"),
             transient_error_prob: args.parse("--transient-p", 0.0),
             max_retries: args.parse("--max-retries", 4),
             battery_fail_at_ms: args.get("--battery-fail").map(|v| {
@@ -167,6 +180,9 @@ fn main() {
         };
         if let Some(spec) = args.get("--fail-disk") {
             fault.disk_failure = Some(parse_fail_disk(spec));
+        }
+        if let Some(spec) = args.get("--second-fail") {
+            fault.second_failure = Some(parse_fail_disk(spec));
         }
         cfg.fault = Some(fault);
     }
@@ -214,7 +230,8 @@ fn main() {
         cfg.total_disks(trace.n_disks),
     );
     let t0 = std::time::Instant::now();
-    let report = Simulator::new(cfg, &trace).run();
+    let sim = Simulator::try_new(cfg, &trace).unwrap_or_else(|e| die(&e));
+    let report = sim.run();
     eprintln!("simulated in {:.2?}\n", t0.elapsed());
 
     println!("{}", report.summary());
@@ -263,6 +280,26 @@ fn main() {
             f.escalations,
             f.writes_written_through,
         );
+    }
+    if let Some(r) = &report.reliability {
+        println!(
+            "reliability: {} | disk failures {} | spares used {}/{} | \
+             latent {} found / {} repaired | scrub coverage {:.1}% | \
+             exposure {:.1} s | blocks lost {} (lost reads {})",
+            r.health,
+            r.disk_failures,
+            r.spares_used,
+            r.spares_used + r.spares_available,
+            r.latent_errors,
+            r.latent_repaired,
+            r.scrub_coverage * 100.0,
+            r.exposure_ms / 1000.0,
+            r.blocks_lost,
+            r.lost_reads,
+        );
+        if let Some(at) = r.data_loss_at_ms {
+            println!("             data loss at {:.1} s", at / 1000.0);
+        }
     }
     if args.flag("--phases") {
         for (dir, ph) in [

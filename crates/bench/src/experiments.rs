@@ -8,7 +8,7 @@ use crate::Workloads;
 use diskmodel::{DiskGeometry, SeekCurve};
 use raidsim::{
     CacheConfig, Discipline, DiskFailure, FaultConfig, Organization, ParityPlacement, SimConfig,
-    SimReport, Simulator, SyncPolicy,
+    SimReport, Simulator, SparingMode, SyncPolicy,
 };
 use raidtp_stats::Table;
 use tracegen::{transform, Trace, TraceStats};
@@ -674,6 +674,181 @@ pub fn rebuild(w: &Workloads) {
     println!();
 }
 
+/// Extension experiment: the failure *lifecycle* beyond a single clean
+/// failure-and-rebuild — sparing policy, background scrubbing of latent
+/// sector errors, and multi-failure escalation up to data loss. Three
+/// tables:
+///
+/// 1. Hot vs distributed sparing per organization. A hot spare funnels
+///    every reconstructed block onto one replacement spindle; distributed
+///    sparing spreads the writes across the survivors, so with the rebuild
+///    unthrottled the write bottleneck dilutes and the rebuild (and with it
+///    the degraded-exposure window) shrinks.
+/// 2. Latent sector errors vs scrub rate on RAID5: how much of the array a
+///    background scrub covers, how many marred blocks it repairs from
+///    redundancy, and what leaks through to the rebuild.
+/// 3. Seeded multi-failure escalation on RAID5: a second failure hitting
+///    the rebuilding spare (restart onto the next spare), hitting it with
+///    the pool exhausted (stays degraded), and hitting a second data disk
+///    (data loss, accounted — not a panic).
+pub fn reliability(w: &Workloads) {
+    println!("== Extension: failure lifecycle — sparing, scrubbing, multi-failure (Trace 2) ==\n");
+    let fail0 = DiskFailure {
+        array: 0,
+        disk: 0,
+        at_ms: 30_000,
+    };
+
+    println!("-- disk 0 fails at t = 30 s; unthrottled rebuild; hot vs distributed sparing --");
+    let orgs: [Organization; 3] = [
+        Organization::Mirror,
+        Organization::Raid5 { striping_unit: 1 },
+        Organization::ParityStriping {
+            placement: ParityPlacement::Middle,
+        },
+    ];
+    let mut t = Table::new(&[
+        "organization",
+        "rebuild s hot",
+        "rebuild s dist",
+        "exposure s hot",
+        "exposure s dist",
+        "degraded ms hot",
+        "degraded ms dist",
+    ]);
+    for org in orgs {
+        let mut rebuild = Vec::new();
+        let mut exposure = Vec::new();
+        let mut degraded = Vec::new();
+        for sparing in [SparingMode::Hot, SparingMode::Distributed] {
+            let mut c = cfg(org, 10, None);
+            c.fault = Some(FaultConfig {
+                disk_failure: Some(fail0),
+                spare: true,
+                sparing,
+                rebuild_rate_mbps: 0,
+                ..FaultConfig::default()
+            });
+            let r = run(c, &w.trace2);
+            let Some(f) = r.faults.as_ref() else { continue };
+            let Some(rel) = r.reliability.as_ref() else {
+                continue;
+            };
+            rebuild.push(f.rebuild_ms / 1000.0);
+            exposure.push(rel.exposure_ms / 1000.0);
+            degraded.push(f.degraded_mean_ms());
+        }
+        t.row(&[
+            org.label().to_string(),
+            format!("{:.1}", rebuild[0]),
+            format!("{:.1}", rebuild[1]),
+            format!("{:.1}", exposure[0]),
+            format!("{:.1}", exposure[1]),
+            ms(degraded[0]),
+            ms(degraded[1]),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!("\n-- latent sector errors vs background scrub, RAID5 (1/disk-hour) --");
+    let mut t = Table::new(&[
+        "scrub MB/s",
+        "latent found",
+        "repaired",
+        "coverage %",
+        "blocks lost",
+        "lost reads",
+    ]);
+    for scrub_rate_mbps in [0u64, 4, 16] {
+        let mut c = cfg(Organization::Raid5 { striping_unit: 1 }, 10, None);
+        c.fault = Some(FaultConfig {
+            latent_rate_per_hour: 1.0,
+            scrub_rate_mbps,
+            ..FaultConfig::default()
+        });
+        let r = run(c, &w.trace2);
+        let Some(rel) = r.reliability.as_ref() else {
+            continue;
+        };
+        t.row(&[
+            scrub_rate_mbps.to_string(),
+            rel.latent_errors.to_string(),
+            rel.latent_repaired.to_string(),
+            format!("{:.1}", rel.scrub_coverage * 100.0),
+            rel.blocks_lost.to_string(),
+            rel.lost_reads.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!("\n-- multi-failure escalation, RAID5 (first failure: disk 0 at 30 s) --");
+    let scenarios: [(&str, DiskFailure, u32); 3] = [
+        (
+            "spare dies at 60 s, pool of 2",
+            DiskFailure {
+                array: 0,
+                disk: 0,
+                at_ms: 60_000,
+            },
+            2,
+        ),
+        (
+            "spare dies at 60 s, pool of 1",
+            DiskFailure {
+                array: 0,
+                disk: 0,
+                at_ms: 60_000,
+            },
+            1,
+        ),
+        (
+            "second data disk at 60 s",
+            DiskFailure {
+                array: 0,
+                disk: 3,
+                at_ms: 60_000,
+            },
+            2,
+        ),
+    ];
+    let mut t = Table::new(&[
+        "scenario",
+        "health",
+        "failures",
+        "spares used",
+        "blocks lost",
+        "lost reads",
+        "loss at s",
+    ]);
+    for (label, second, spare_count) in scenarios {
+        let mut c = cfg(Organization::Raid5 { striping_unit: 1 }, 10, None);
+        c.fault = Some(FaultConfig {
+            disk_failure: Some(fail0),
+            second_failure: Some(second),
+            spare: true,
+            spare_count,
+            rebuild_rate_mbps: 10,
+            ..FaultConfig::default()
+        });
+        let r = run(c, &w.trace2);
+        let Some(rel) = r.reliability.as_ref() else {
+            continue;
+        };
+        t.row(&[
+            label.to_string(),
+            rel.health.clone(),
+            rel.disk_failures.to_string(),
+            rel.spares_used.to_string(),
+            rel.blocks_lost.to_string(),
+            rel.lost_reads.to_string(),
+            rel.data_loss_at_ms
+                .map_or_else(|| "-".into(), |v| format!("{:.1}", v / 1000.0)),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+}
+
 /// An experiment: its CLI id and the function that prints it.
 pub type Experiment = (&'static str, fn(&Workloads));
 
@@ -891,6 +1066,7 @@ pub const ALL: &[Experiment] = &[
     ("fig19", fig19),
     ("degraded", degraded),
     ("rebuild", rebuild),
+    ("reliability", reliability),
     ("finegrain", finegrain),
     ("breakdown", breakdown),
     ("scheduling", scheduling),

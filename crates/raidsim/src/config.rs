@@ -164,23 +164,82 @@ pub struct DiskFailure {
     pub at_ms: u64,
 }
 
+/// How a failed disk's contents are re-protected (ROADMAP item 4 /
+/// Thomasian's survey): rebuild onto a dedicated hot spare, or spread the
+/// reconstructed blocks across the surviving disks of the array.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SparingMode {
+    /// Rebuild writes go to one replacement spindle drawn from the spare
+    /// pool; the spare becomes the new copy of the failed disk.
+    #[default]
+    Hot,
+    /// Rebuild writes are distributed over all survivors of the array.
+    /// Consumes no spare, and the write side of the rebuild parallelizes
+    /// across `N` arms instead of serializing on one — shrinking the
+    /// vulnerable rebuild window at the cost of reserved survivor capacity.
+    Distributed,
+}
+
+impl SparingMode {
+    pub fn label(&self) -> &'static str {
+        match self {
+            SparingMode::Hot => "hot-spare",
+            SparingMode::Distributed => "dist-spare",
+        }
+    }
+}
+
+fn default_spare_count() -> u32 {
+    1
+}
+
 /// Fault-injection configuration: a mid-run failure timeline plus the
-/// recovery knobs (hot spare / rebuild, transient-error retry, NVRAM
-/// battery failover). All randomness derives from `fault_seed` through
-/// [`simkit::fault::FaultPlan`] streams, so fault-injected runs stay a pure
-/// function of (trace, config, fault seed).
+/// recovery knobs (spare pool / rebuild, latent-error scrubbing,
+/// transient-error retry, NVRAM battery failover). All randomness derives
+/// from `fault_seed` through [`simkit::fault::FaultPlan`] streams, so
+/// fault-injected runs stay a pure function of (trace, config, fault seed).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FaultConfig {
     /// Permanent disk failure injected mid-run (contrast `failed_disk`,
     /// which models a disk that is already dead at time zero).
     pub disk_failure: Option<DiskFailure>,
-    /// Whether a hot spare is available: when `true`, an online rebuild
-    /// sweeps the failed disk's blocks onto the spare and the array returns
-    /// to healthy mode; when `false`, the array stays degraded to the end.
+    /// A second permanent failure, for multi-failure lifecycles: a spare
+    /// dying mid-rebuild (rebuild restarts onto the next spare), spare
+    /// exhaustion (array stays degraded), or — when it hits a second data
+    /// disk of the same array — the `DataLoss` transition.
+    #[serde(default)]
+    pub second_failure: Option<DiskFailure>,
+    /// Whether a spare pool is available: when `true`, an online rebuild
+    /// re-protects the failed disk's blocks and the array returns to
+    /// healthy mode; when `false`, the array stays degraded to the end.
     pub spare: bool,
+    /// Spares in the pool (hot sparing draws one per rebuild; exhaustion
+    /// leaves later failures degraded). Ignored under distributed sparing,
+    /// which consumes no spares.
+    #[serde(default = "default_spare_count")]
+    pub spare_count: u32,
+    /// Hot spare vs distributed sparing (see [`SparingMode`]).
+    #[serde(default)]
+    pub sparing: SparingMode,
     /// Rebuild-rate cap in MB/s of reconstructed data (0 = unthrottled: the
     /// rebuild runs as fast as background-band scheduling allows).
     pub rebuild_rate_mbps: u64,
+    /// Latent sector error rate, per disk-hour. Each disk gets a Poisson
+    /// substream (seeded off `fault_seed` in its own tag namespace) that
+    /// silently mars individual blocks; marred blocks surface when a scrub
+    /// pass or a rebuild reconstruction needs them. 0 disables.
+    #[serde(default)]
+    pub latent_rate_per_hour: f64,
+    /// Background scrub rate in MB/s of verified data (0 = scrubbing off).
+    /// The scrub sweeps every disk of every array once, sequentially, in
+    /// the background band, repairing discovered latent errors from
+    /// redundancy.
+    #[serde(default)]
+    pub scrub_rate_mbps: u64,
+    /// Accept fault events scheduled after the last trace arrival instead
+    /// of rejecting them at config time (they would never fire).
+    #[serde(default)]
+    pub allow_idle_faults: bool,
     /// Per-operation probability of a transient media error (0 disables).
     pub transient_error_prob: f64,
     /// Consecutive retries of one operation before the error escalates to a
@@ -193,7 +252,8 @@ pub struct FaultConfig {
     pub battery_fail_at_ms: Option<u64>,
     /// Battery replacement time, ms: write-back caching resumes.
     pub battery_restore_at_ms: Option<u64>,
-    /// Seed of the fault plan's random streams (transient-error draws).
+    /// Seed of the fault plan's random streams (transient-error and latent
+    /// sector error draws; one substream per disk per fault class).
     pub fault_seed: u64,
 }
 
@@ -201,8 +261,14 @@ impl Default for FaultConfig {
     fn default() -> Self {
         FaultConfig {
             disk_failure: None,
+            second_failure: None,
             spare: true,
+            spare_count: default_spare_count(),
+            sparing: SparingMode::Hot,
             rebuild_rate_mbps: 10,
+            latent_rate_per_hour: 0.0,
+            scrub_rate_mbps: 0,
+            allow_idle_faults: false,
             transient_error_prob: 0.0,
             max_retries: 4,
             retry_backoff_us: 500,
@@ -335,20 +401,41 @@ impl SimConfig {
             return Err("sample period must be ≥ 1 ms".into());
         }
         if let Some(f) = &self.fault {
+            let dpa = self.organization.disks_per_array(self.data_disks_per_array);
             if let Some(df) = f.disk_failure {
                 if self.organization == Organization::Base {
                     return Err("Base has no redundancy: cannot survive a disk failure".into());
                 }
-                if df.disk >= self.organization.disks_per_array(self.data_disks_per_array) {
+                if df.disk >= dpa {
                     return Err("failing disk index out of range for the array".into());
                 }
-                if self.failed_disk.is_some() {
-                    return Err(
-                        "choose a static failed_disk or a mid-run disk_failure, not both \
-                         (a second failure exceeds single-fault tolerance)"
-                            .into(),
-                    );
+                // A static failed_disk *plus* a mid-run failure is an
+                // overlapping-failure scenario: legal since the lifecycle
+                // engine resolves it (spare restart / exhaustion /
+                // DataLoss) instead of exceeding single-fault tolerance.
+            }
+            if let Some(df2) = f.second_failure {
+                let Some(df1) = f.disk_failure else {
+                    return Err("second_failure without a first disk_failure".into());
+                };
+                if df2.disk >= dpa {
+                    return Err("second failing disk index out of range for the array".into());
                 }
+                if df2.at_ms < df1.at_ms {
+                    return Err("second_failure must not precede disk_failure".into());
+                }
+            }
+            if f.spare && f.spare_count == 0 {
+                return Err("spare pool enabled but spare_count is 0 (set spare: false)".into());
+            }
+            if !(f.latent_rate_per_hour.is_finite() && f.latent_rate_per_hour >= 0.0) {
+                return Err("latent_rate_per_hour must be finite and ≥ 0".into());
+            }
+            if f.latent_rate_per_hour > 0.0 && self.organization == Organization::Base {
+                return Err("Base has no redundancy: latent sector errors are unrepairable".into());
+            }
+            if f.scrub_rate_mbps > 0 && self.organization == Organization::Base {
+                return Err("Base has no redundancy: scrubbing has nothing to repair from".into());
             }
             if !(0.0..1.0).contains(&f.transient_error_prob) {
                 return Err("transient_error_prob must be in [0, 1)".into());
@@ -511,10 +598,59 @@ mod tests {
         });
         assert!(cfg.validate().is_err());
 
-        // Static + mid-run failure would be a double fault.
+        // Static + mid-run failure is an overlapping-failure scenario: the
+        // lifecycle engine resolves it (restart / exhaustion / DataLoss)
+        // instead of rejecting it.
         let mut cfg = with_fault(|_| {});
         cfg.failed_disk = Some((0, 0));
-        assert!(cfg.validate().is_err());
+        assert!(cfg.validate().is_ok());
+
+        // A second failure needs a first, must not precede it, and its disk
+        // index is bounded by the array width.
+        let second = |disk, at_ms| DiskFailure {
+            array: 0,
+            disk,
+            at_ms,
+        };
+        let mut cfg = with_fault(|f| f.second_failure = Some(second(4, 6_000)));
+        assert!(cfg.validate().is_ok());
+        cfg.fault.as_mut().unwrap().disk_failure = None;
+        assert!(cfg.validate().is_err(), "second failure without a first");
+        assert!(with_fault(|f| f.second_failure = Some(second(11, 6_000)))
+            .validate()
+            .is_err());
+        assert!(with_fault(|f| f.second_failure = Some(second(4, 1_000)))
+            .validate()
+            .is_err());
+
+        // Spare pool, latent-error, and scrub knobs.
+        assert!(with_fault(|f| f.spare_count = 0).validate().is_err());
+        assert!(with_fault(|f| {
+            f.spare = false;
+            f.spare_count = 0;
+        })
+        .validate()
+        .is_ok());
+        assert!(with_fault(|f| f.latent_rate_per_hour = f64::NAN)
+            .validate()
+            .is_err());
+        assert!(with_fault(|f| f.latent_rate_per_hour = -1.0)
+            .validate()
+            .is_err());
+        let mut cfg = SimConfig {
+            organization: Organization::Base,
+            fault: Some(FaultConfig {
+                latent_rate_per_hour: 1.0,
+                ..FaultConfig::default()
+            }),
+            ..SimConfig::default()
+        };
+        assert!(cfg.validate().is_err(), "latent errors on Base");
+        cfg.fault = Some(FaultConfig {
+            scrub_rate_mbps: 10,
+            ..FaultConfig::default()
+        });
+        assert!(cfg.validate().is_err(), "scrub on Base");
 
         // Transient-error probability range and retry budget.
         assert!(with_fault(|f| f.transient_error_prob = 1.0)

@@ -35,9 +35,11 @@ pub mod sweep;
 
 pub use config::{
     CacheConfig, DiskFailure, FaultConfig, ObservabilityConfig, Organization, ParityPlacement,
-    SimConfig, SyncPolicy,
+    SimConfig, SparingMode, SyncPolicy,
 };
 pub use diskmodel::Discipline;
-pub use report::{FaultReport, PhaseSample, PhaseWelfords, SchedulerReport, SimReport};
+pub use report::{
+    FaultReport, PhaseSample, PhaseWelfords, ReliabilityReport, SchedulerReport, SimReport,
+};
 pub use sim::{PartStats, RunStats, Simulator, WarmDisks};
 pub use sweep::{run_all, NamedRun};

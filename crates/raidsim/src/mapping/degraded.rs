@@ -19,6 +19,28 @@
 
 use super::{OrgMap, Run, StripeMode, WritePlan};
 
+/// Spare-area target for block `block` of the failed disk under
+/// *distributed sparing*: instead of one hot spare absorbing the whole
+/// reconstructed disk, every survivor reserves a spare area and the failed
+/// disk's blocks are struck across them round-robin. Survivor `i` (in
+/// ascending disk order, the failed slot skipped) takes the blocks with
+/// `block ≡ i (mod dpa−1)`, so rebuild writes spread evenly over all
+/// `dpa−1` surviving spindles — the mechanism behind distributed sparing's
+/// shorter rebuild window.
+///
+/// The returned index is a real disk of the array, never `failed`.
+pub(crate) fn distributed_spare_target(dpa: u32, failed: u32, block: u64) -> u32 {
+    debug_assert!(dpa >= 2 && failed < dpa);
+    let i = (block % (dpa as u64 - 1)) as u32;
+    // The i-th survivor in ascending order: indices below `failed` map
+    // straight through, the rest shift past the failed slot.
+    if i < failed {
+        i
+    } else {
+        i + 1
+    }
+}
+
 /// How a read decomposes under a failed disk.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DegradedRead {

@@ -13,6 +13,7 @@ mod parstrip;
 mod raid;
 mod simple;
 
+pub(crate) use degraded::distributed_spare_target;
 pub use degraded::DegradedRead;
 pub use parstrip::ParStripMap;
 pub use raid::RaidMap;

@@ -113,13 +113,30 @@ impl PhaseWelfords {
 /// open when the simulation ends is truncated at the final event time.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct FaultReport {
-    /// Failure → array healthy again (rebuild complete), ms; spans to the
-    /// end of the run when no spare was configured. 0 when no disk failed.
+    /// Time spent in degraded or rebuilding state, summed over arrays and
+    /// over every degraded episode, ms; an episode still open at the end of
+    /// the run (no spare, pool exhausted, data loss) is truncated there.
+    /// 0 when no disk failed.
     pub degraded_window_ms: f64,
-    /// Rebuild start → last block reconstructed onto the spare, ms.
+    /// Rebuild start → last block re-protected, summed over arrays, ms.
     pub rebuild_ms: f64,
-    /// Blocks reconstructed onto the spare.
+    /// Blocks reconstructed onto spare targets.
     pub rebuild_blocks: u64,
+    /// Permanent disk failures (injected and escalated), spares drawn from
+    /// the pools, and spares still available at the end of the run.
+    pub disk_failures: u64,
+    pub spares_used: u64,
+    /// Latent sector errors injected, and how many the scrub repaired from
+    /// redundancy before anything tripped over them.
+    pub latent_errors: u64,
+    pub latent_repaired: u64,
+    /// Blocks verified by the background scrub.
+    pub scrub_blocks: u64,
+    /// Blocks lost beyond redundancy (second failures, latent errors with
+    /// no surviving peer), and host reads that completed degenerately
+    /// because their data was gone.
+    pub blocks_lost: u64,
+    pub lost_reads: u64,
     /// Transient media errors injected.
     pub transient_errors: u64,
     /// Operation retries driven by the controller (≤ transient_errors).
@@ -136,11 +153,12 @@ pub struct FaultReport {
     /// Host writes that had to complete write-through during the outage.
     pub writes_written_through: u64,
     /// Response times split by the array's state when the request was
-    /// processed: healthy, degraded (failed disk, no rebuild running), or
-    /// rebuilding.
+    /// processed: healthy, degraded (failed disk, no rebuild running),
+    /// rebuilding, or past the data-loss transition.
     pub response_healthy_ms: Welford,
     pub response_degraded_ms: Welford,
     pub response_rebuilding_ms: Welford,
+    pub response_dataloss_ms: Welford,
 }
 
 impl FaultReport {
@@ -150,6 +168,49 @@ impl FaultReport {
         let mut w = self.response_degraded_ms;
         w.merge(&self.response_rebuilding_ms);
         w.mean()
+    }
+}
+
+/// Structured end-of-run durability summary, present when
+/// `SimConfig::fault` was set. Where [`FaultReport`] is the performance
+/// view of a faulty run (response times by window, recovery traffic), this
+/// is the *reliability* view: what state the lifecycle ended in and what,
+/// if anything, was lost. The `figures reliability` experiment tables these
+/// per organization.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ReliabilityReport {
+    /// Worst lifecycle state across arrays at the end of the run:
+    /// `"healthy"`, `"degraded"`, `"rebuilding"`, or `"data-loss"`.
+    pub health: String,
+    /// Permanent disk failures (injected and escalated).
+    pub disk_failures: u64,
+    /// Spares drawn from the pools / still available at the end.
+    pub spares_used: u64,
+    pub spares_available: u64,
+    /// Latent sector errors injected / repaired from redundancy.
+    pub latent_errors: u64,
+    pub latent_repaired: u64,
+    /// Blocks verified by the background scrub, and the fraction of all
+    /// physical blocks that represents (the sweep skips failed disks, so a
+    /// degraded array's pass covers less than 1.0).
+    pub scrub_blocks: u64,
+    pub scrub_coverage: f64,
+    /// Blocks lost beyond redundancy, and host reads of lost data that
+    /// completed degenerately.
+    pub blocks_lost: u64,
+    pub lost_reads: u64,
+    /// Total time any array spent without full redundancy (degraded +
+    /// rebuilding), summed over arrays and episodes, ms — the window in
+    /// which a second failure loses data (the MTTDL exposure term).
+    pub exposure_ms: f64,
+    /// When the first array crossed into `DataLoss`, ms from run start.
+    pub data_loss_at_ms: Option<f64>,
+}
+
+impl ReliabilityReport {
+    /// Whether the run ended with every block still recoverable.
+    pub fn survived(&self) -> bool {
+        self.blocks_lost == 0
     }
 }
 
@@ -237,6 +298,12 @@ pub struct SimReport {
     /// Fault-injection accounting, present when `SimConfig::fault` was set.
     pub faults: Option<FaultReport>,
 
+    /// End-of-run durability summary, present when `SimConfig::fault` was
+    /// set. Omitted from the serialized and `Debug` forms when absent so
+    /// fault-free reports stay byte-identical to earlier baselines.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub reliability: Option<ReliabilityReport>,
+
     /// Sampled state over time, present when
     /// `SimConfig::observability.sample_period_ms` was set.
     pub timeseries: Option<TimeSeries>,
@@ -275,6 +342,9 @@ impl fmt::Debug for SimReport {
             .field("elapsed_secs", &self.elapsed_secs)
             .field("faults", &self.faults)
             .field("timeseries", &self.timeseries);
+        if let Some(rel) = &self.reliability {
+            s.field("reliability", rel);
+        }
         if let Some(sched) = &self.scheduler {
             s.field("scheduler", sched);
         }
@@ -377,6 +447,7 @@ mod tests {
             buffer_waits: 0,
             elapsed_secs: 1.0,
             faults: None,
+            reliability: None,
             timeseries: None,
             scheduler: None,
         }

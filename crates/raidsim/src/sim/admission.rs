@@ -48,10 +48,21 @@ impl<'t> Simulator<'t> {
         let now = self.engine.now();
         let serial = self.req_serial;
         self.req_serial += 1;
-        let window = match self.failed_in(array) {
-            None => 0,
-            Some(_) if self.fault.as_ref().is_some_and(|f| f.rebuild_active) => 2,
-            Some(_) => 1,
+        let window = if self.dataloss[array as usize] {
+            3
+        } else {
+            match self.failed_in(array) {
+                None => 0,
+                Some(_)
+                    if self
+                        .fault
+                        .as_ref()
+                        .is_some_and(|f| f.arr[array as usize].rebuild_active) =>
+                {
+                    2
+                }
+                Some(_) => 1,
+            }
         };
         let req = self.reqs.insert(Request {
             arrive: rec.at,
@@ -106,6 +117,21 @@ impl<'t> Simulator<'t> {
     fn noncached_read(&mut self, req: u32, array: u32, laddr: u64, n: u32) {
         if let Some(f) = self.failed_in(array) {
             let degraded = self.planner.degraded_read_runs(laddr, n, f);
+            if self.dataloss[array as usize] && !degraded.reconstruct.is_empty() {
+                // The reconstruction sources died with the second failure:
+                // the blocks under the failed slot are gone. Count the lost
+                // read and serve only the surviving runs — the request
+                // completes degenerately (classified in the data-loss
+                // window), it does not wedge.
+                if let Some(fs) = self.fault.as_mut() {
+                    fs.lost_reads += 1;
+                }
+                for run in degraded.direct {
+                    let run = self.choose_replica(array, run);
+                    self.read_op(req, array, run, OpRole::HostRead);
+                }
+                return;
+            }
             for run in degraded.direct {
                 let run = self.choose_replica(array, run);
                 self.read_op(req, array, run, OpRole::HostRead);

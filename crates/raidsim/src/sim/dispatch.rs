@@ -47,7 +47,7 @@ impl<'t> Simulator<'t> {
         // path. This catches stragglers staged before the failure — boxed
         // Issue events, gated parity ops, delayed retries. Rebuild writes
         // are exempt: they target the hot spare occupying the failed slot.
-        if self.failed_gdisk == Some(gdisk) && role != OpRole::RebuildWrite {
+        if self.is_failed(gdisk) && role != OpRole::RebuildWrite {
             self.abort_op(token, false);
             return;
         }
@@ -265,7 +265,7 @@ impl<'t> Simulator<'t> {
                         .schedule_after(policy.backoff_ns(attempts), Ev::Issue([token].into()));
                     return;
                 }
-                if self.planner.has_redundancy() && self.failed_gdisk.is_none() {
+                if self.planner.has_redundancy() && self.fully_healthy() {
                     if let Some(f) = self.fault.as_mut() {
                         f.escalations += 1;
                     }
@@ -362,6 +362,15 @@ impl<'t> Simulator<'t> {
                     self.maybe_free_job(j);
                 }
                 self.on_rebuild_batch_done(&op);
+            }
+            OpRole::ScrubRead => {
+                self.on_scrub_read_done(&op);
+            }
+            OpRole::ScrubRepair => {
+                if let Some(j) = op.job {
+                    self.jobs.refs[j as usize] -= 1;
+                    self.maybe_free_job(j);
+                }
             }
         }
 

@@ -51,9 +51,11 @@ mod reporting;
 mod slab;
 mod soa;
 
-use crate::config::{FaultConfig, Organization, SimConfig, SyncPolicy};
+use crate::config::{FaultConfig, Organization, SimConfig, SparingMode, SyncPolicy};
 use crate::mapping::{OrgMap, Run, StripeMode};
-use crate::report::{FaultReport, PhaseSample, PhaseWelfords, SchedulerReport, SimReport};
+use crate::report::{
+    FaultReport, PhaseSample, PhaseWelfords, ReliabilityReport, SchedulerReport, SimReport,
+};
 use diskmodel::{
     rmw_write_complete, AccessKind, Band, Discipline, Disk, DiskScheduler, SchedulerQueue,
 };
@@ -104,8 +106,16 @@ pub(super) enum OpRole {
     ReconstructRead,
     /// Online-rebuild peer read: feeds the rebuild batch's job only.
     RebuildRead,
-    /// Online-rebuild write of reconstructed blocks onto the hot spare.
+    /// Online-rebuild write of reconstructed blocks onto the hot spare (or,
+    /// under distributed sparing, onto a surviving disk's spare area).
     RebuildWrite,
+    /// Background-scrub sequential verify read: discovers latent sector
+    /// errors in its range on completion.
+    ScrubRead,
+    /// Rewrite of a scrub-discovered latent error from reconstructed
+    /// redundancy (completion is a no-op: the repair was already accounted
+    /// when the covering scrub read finished).
+    ScrubRepair,
 }
 
 /// When a parity job's parity operations get enqueued (Section 3.3).
@@ -210,8 +220,8 @@ struct Request {
     /// critical path so far); components sum exactly to `finish − arrive`.
     phase: PhaseSample,
     /// Array state when the request arrived: 0 healthy, 1 degraded (no
-    /// rebuild running), 2 rebuilding. Buckets the per-window response
-    /// statistics of [`FaultReport`].
+    /// rebuild running), 2 rebuilding, 3 data loss. Buckets the per-window
+    /// response statistics of [`FaultReport`].
     window: u8,
 }
 
@@ -253,10 +263,21 @@ enum Ev {
     DestageTick {
         array: u32,
     },
-    /// An injected fault fires (disk failure, battery failure/restore).
+    /// An injected fault fires (disk failure, latent sector error, battery
+    /// failure/restore).
     Fault(FaultKind),
-    /// Reconstruct the next batch of the failed disk onto the hot spare.
-    RebuildStep,
+    /// Reconstruct the next batch of `array`'s failed disk onto its spare
+    /// target. `epoch` identifies the rebuild attempt: a throttled step
+    /// scheduled before the rebuild restarted (spare died, next spare drawn)
+    /// is stale and ignored.
+    RebuildStep {
+        array: u32,
+        epoch: u32,
+    },
+    /// Verify the next batch of `array`'s background scrub sweep.
+    ScrubStep {
+        array: u32,
+    },
     /// Periodic state sampler (read-only: never perturbs timing).
     Sample,
 }
@@ -377,11 +398,19 @@ pub struct Simulator<'t> {
     reqs: Slab<Request>,
     dgroups: Slab<DestageJob>,
 
-    // Cached constants (failed_gdisk is a runtime *state*: set by a static
-    // config or a mid-run failure event, cleared when a rebuild completes).
+    // Cached constants (failed_local / dataloss are runtime *state*: set by
+    // a static config or mid-run failure events, cleared — failed_local
+    // only — when a rebuild completes; dataloss is sticky).
     arrays: u32,
     dpa: u32,
-    failed_gdisk: Option<u32>,
+    /// Per array: local index of its failed disk, if any. Planning stays
+    /// degraded around this disk; a second failure in the same array is
+    /// resolved by the fault layer (spare restart / exhaustion / data loss)
+    /// without changing which disk planning routes around.
+    failed_local: Vec<Option<u32>>,
+    /// Per array: whether a stripe lost more blocks than its redundancy
+    /// covers. Sticky until the end of the run.
+    dataloss: Vec<bool>,
     fault: Option<FaultState>,
     n: u32,
     bpd: u64,
@@ -540,7 +569,14 @@ impl<'t> Simulator<'t> {
                 return Err("failed disk's array out of range".into());
             }
         }
-        let failed_gdisk = cfg.failed_disk.map(|(a, d)| a * dpa + d);
+        let mut failed_local: Vec<Option<u32>> = vec![None; arrays as usize];
+        if let Some((a, d)) = cfg.failed_disk {
+            failed_local[a as usize] = Some(d);
+        }
+
+        // Last trace arrival: sizes the calendar queue below and bounds the
+        // fault timeline (an event past it would never fire).
+        let horizon_ns = trace.records.last().map_or(0, |r| r.at.as_ns());
 
         // Fault-injection plan: injected events resolved against the trace's
         // array count, per-disk error streams split off the fault seed.
@@ -548,7 +584,7 @@ impl<'t> Simulator<'t> {
             None => None,
             Some(fc) => {
                 let mut plan = FaultPlan::new(fc.fault_seed);
-                if let Some(df) = fc.disk_failure {
+                for df in [fc.disk_failure, fc.second_failure].into_iter().flatten() {
                     if df.array >= arrays {
                         return Err("injected disk failure's array out of range".into());
                     }
@@ -568,8 +604,43 @@ impl<'t> Simulator<'t> {
                         at: SimTime::from_ms(ms),
                     });
                 }
+                // Scheduled events past the trace horizon never fire: reject
+                // them at construction instead of silently under-faulting
+                // (opt out with `allow_idle_faults`).
+                if !fc.allow_idle_faults {
+                    if let Some(ev) = plan.events().iter().find(|e| e.at().as_ns() > horizon_ns) {
+                        return Err(format!(
+                            "fault at {:.0} ms is past the last trace arrival at {:.0} ms and \
+                             would never fire (set allow_idle_faults to accept)",
+                            ev.at().as_ms_f64(),
+                            SimTime::from_ns(horizon_ns).as_ms_f64(),
+                        ));
+                    }
+                }
+                // Latent sector errors: one Poisson substream per disk, laid
+                // out over the trace horizon at plan-build time so the
+                // schedule is a pure function of (fault seed, geometry,
+                // horizon) — independent of anything the run does.
+                if fc.latent_rate_per_hour > 0.0 {
+                    let mean_ms = 3.6e6 / fc.latent_rate_per_hour;
+                    let horizon_ms = SimTime::from_ns(horizon_ns).as_ms_f64();
+                    for g in 0..total_disks {
+                        let mut rng = plan.latent_stream(g as u64);
+                        let mut t = rng.next_exp(mean_ms);
+                        while t <= horizon_ms {
+                            let block = rng.next_u64() % bpd;
+                            plan.schedule(FaultEvent::LatentError {
+                                array: g as u32 / dpa,
+                                disk: g as u32 % dpa,
+                                block,
+                                at: SimTime::from_ms_f64(t),
+                            });
+                            t += rng.next_exp(mean_ms);
+                        }
+                    }
+                }
                 let rngs = (0..total_disks).map(|g| plan.stream(g as u64)).collect();
-                Some(FaultState::new(fc, plan, rngs))
+                Some(FaultState::new(fc, plan, rngs, arrays, total_disks))
             }
         };
 
@@ -615,7 +686,6 @@ impl<'t> Simulator<'t> {
         // therefore every result, is identical for any width (which is also
         // why partitions may size from their own share without perturbing
         // the merged byte-identical result).
-        let horizon_ns = trace.records.last().map_or(0, |r| r.at.as_ns());
         let width_ns = if horizon_ns > 0 {
             (horizon_ns / (own_records as u64 * 8).max(1)).clamp(1 << 10, 1 << 17)
         } else {
@@ -649,7 +719,8 @@ impl<'t> Simulator<'t> {
             dgroups: Slab::new(),
             arrays,
             dpa,
-            failed_gdisk,
+            failed_local,
+            dataloss: vec![false; arrays as usize],
             fault,
             n,
             bpd,
@@ -722,6 +793,18 @@ impl<'t> Simulator<'t> {
                             gdisk: array * self.dpa + disk,
                         },
                     ),
+                    FaultEvent::LatentError {
+                        array,
+                        disk,
+                        block,
+                        at,
+                    } => (
+                        at,
+                        FaultKind::LatentError {
+                            gdisk: array * self.dpa + disk,
+                            block,
+                        },
+                    ),
                     FaultEvent::BatteryFail { at } => (at, FaultKind::BatteryFail),
                     FaultEvent::BatteryRestore { at } => (at, FaultKind::BatteryRestore),
                 })
@@ -730,6 +813,19 @@ impl<'t> Simulator<'t> {
         };
         for (at, kind) in fault_evs {
             self.engine.schedule_at(at, Ev::Fault(kind));
+        }
+        // Background scrub sweeps start at time zero, one per array, after
+        // the plan events (roots at equal times pop in scheduling order; the
+        // partition runner and the merge replicate this exact order).
+        if self
+            .fault
+            .as_ref()
+            .is_some_and(|f| f.fcfg.scrub_rate_mbps > 0)
+        {
+            for a in 0..self.arrays {
+                self.engine
+                    .schedule_at(SimTime::ZERO, Ev::ScrubStep { array: a });
+            }
         }
         while let Some(ev) = self.next_step() {
             self.dispatch(ev);
@@ -832,10 +928,12 @@ impl<'t> Simulator<'t> {
             Ev::DestageTick { array } => self.on_destage_tick(array),
             Ev::Fault(kind) => match kind {
                 FaultKind::DiskFail { gdisk } => self.on_disk_fail(gdisk),
+                FaultKind::LatentError { gdisk, block } => self.on_latent_error(gdisk, block),
                 FaultKind::BatteryFail => self.on_battery_fail(),
                 FaultKind::BatteryRestore => self.on_battery_restore(),
             },
-            Ev::RebuildStep => self.on_rebuild_step(),
+            Ev::RebuildStep { array, epoch } => self.on_rebuild_step(array, epoch),
+            Ev::ScrubStep { array } => self.on_scrub_step(array),
             Ev::Sample => self.on_sample(),
         }
     }

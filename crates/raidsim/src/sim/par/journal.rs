@@ -79,6 +79,8 @@ pub(super) struct PartFinal {
     pub(super) buffer_waits: u64,
     pub(super) spool_stalls: u64,
     pub(super) fault: Option<FaultState>,
+    pub(super) failed_local: Vec<Option<u32>>,
+    pub(super) dataloss: Vec<bool>,
     pub(super) events_processed: u64,
     pub(super) peak_pending: usize,
     pub(super) arrivals_owned: u64,

@@ -95,10 +95,33 @@ impl<'t> Simulator<'t> {
         }
         if let Some(fs) = self.fault.as_ref() {
             for e in fs.plan.events() {
-                if let FaultEvent::DiskFail { array, at, .. } = *e {
-                    let p = part_of(array);
+                let owner = match *e {
+                    FaultEvent::DiskFail { array, .. } | FaultEvent::LatentError { array, .. } => {
+                        Some((e.at(), part_of(array)))
+                    }
+                    // Battery events are excluded by `partitionable`.
+                    _ => None,
+                };
+                if let Some((at, p)) = owner {
                     heap.push(Sym {
                         at,
+                        gseq,
+                        kind: SymKind::Local {
+                            part: p,
+                            ord: ordc[p],
+                        },
+                    });
+                    gseq += 1;
+                    ordc[p] += 1;
+                }
+            }
+            // Scrub roots last, in global array order — mirroring the serial
+            // loop and each partition's own root schedule.
+            if fs.fcfg.scrub_rate_mbps > 0 {
+                for a in 0..self.arrays {
+                    let p = part_of(a);
+                    heap.push(Sym {
+                        at: SimTime::ZERO,
                         gseq,
                         kind: SymKind::Local {
                             part: p,
@@ -281,26 +304,40 @@ impl<'t> Simulator<'t> {
                 journal_frames: part.journal_frames,
                 journal_bytes: part.journal_bytes,
             });
-            // Fault counters live with the partition that owned the failure
-            // (only it aborted, re-planned, or rebuilt anything); the
-            // per-window response accumulators were already replayed above.
+            // Lifecycle state lives with the partition that owned each
+            // array (only it aborted, re-planned, scrubbed, or rebuilt
+            // anything there): per-array and per-disk state is grafted by
+            // ownership, cross-array counters are summed into the parent's
+            // zeroed totals. The per-window response accumulators were
+            // already replayed above.
+            for a in lo..hi {
+                let ai = a as usize;
+                self.failed_local[ai] = part.failed_local[ai];
+                self.dataloss[ai] = part.dataloss[ai];
+            }
             if let (Some(dst), Some(f)) = (self.fault.as_mut(), part.fault.as_ref()) {
-                if f.failed_at.is_some() {
-                    dst.failed_at = f.failed_at;
-                    dst.healthy_at = f.healthy_at;
-                    dst.rebuild_started = f.rebuild_started;
-                    dst.rebuild_done = f.rebuild_done;
-                    dst.rebuild_active = f.rebuild_active;
-                    dst.rebuild_cursor = f.rebuild_cursor;
-                    dst.step_started = f.step_started;
-                    dst.rebuild_blocks = f.rebuild_blocks;
-                    dst.transient_errors = f.transient_errors;
-                    dst.retries = f.retries;
-                    dst.escalations = f.escalations;
-                    dst.ops_aborted = f.ops_aborted;
-                    dst.ops_replayed = f.ops_replayed;
-                    dst.writes_written_through = f.writes_written_through;
+                for a in lo..hi {
+                    let ai = a as usize;
+                    dst.arr[ai] = f.arr[ai].clone();
+                    dst.scrub[ai] = f.scrub[ai].clone();
                 }
+                for g in (lo * self.dpa)..(hi * self.dpa) {
+                    dst.latent[g as usize] = f.latent[g as usize].clone();
+                }
+                dst.disk_failures += f.disk_failures;
+                dst.spares_used += f.spares_used;
+                dst.rebuild_blocks += f.rebuild_blocks;
+                dst.scrub_blocks += f.scrub_blocks;
+                dst.latent_errors += f.latent_errors;
+                dst.latent_repaired += f.latent_repaired;
+                dst.blocks_lost += f.blocks_lost;
+                dst.lost_reads += f.lost_reads;
+                dst.transient_errors += f.transient_errors;
+                dst.retries += f.retries;
+                dst.escalations += f.escalations;
+                dst.ops_aborted += f.ops_aborted;
+                dst.ops_replayed += f.ops_replayed;
+                dst.writes_written_through += f.writes_written_through;
             }
         }
         self.engine.fast_forward(last_time);
@@ -362,7 +399,8 @@ impl<'t> Simulator<'t> {
                     match window {
                         0 => f.resp_healthy.push(ms),
                         1 => f.resp_degraded.push(ms),
-                        _ => f.resp_rebuilding.push(ms),
+                        2 => f.resp_rebuilding.push(ms),
+                        _ => f.resp_dataloss.push(ms),
                     }
                 }
                 if is_read {

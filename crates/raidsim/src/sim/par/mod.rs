@@ -50,11 +50,13 @@
 //!
 //! Runs that observe global state mid-run (periodic sampler, event log)
 //! or couple arrays through the controller (battery failover flushes every
-//! cache; transient-error escalation consults the global failed-disk
-//! gate) are not partitionable and fall back to the serial path — with
-//! one exception: a single injected disk failure is fine, because every
-//! consequence (aborts, degraded planning, rebuild) is confined to the
-//! failed array's partition.
+//! cache; transient-error escalation consults the global health gate) are
+//! not partitionable and fall back to the serial path. Injected disk
+//! failures, latent sector errors, background scrubbing, and the whole
+//! multi-failure lifecycle *are* partitionable: every consequence (aborts,
+//! degraded planning, rebuild, spare-pool draws, data-loss transitions) is
+//! confined to the affected array's partition, and the fault counters the
+//! report sums are grafted per-array at merge time.
 
 mod journal;
 mod merge;
@@ -200,10 +202,10 @@ impl<'t> Simulator<'t> {
             && self.event_log.is_none()
             && self.fault.as_ref().is_none_or(|f| {
                 // Transient errors can escalate to a failure through a
-                // *global* single-failure gate; battery failover flushes
-                // every array's cache from one event. A single injected
-                // disk failure, by contrast, is wholly owned by the failed
-                // array's partition.
+                // *global* health gate; battery failover flushes every
+                // array's cache from one event. Injected disk failures
+                // (any number), latent errors, and scrubbing are wholly
+                // owned by their array's partition.
                 f.fcfg.transient_error_prob == 0.0
                     && f.fcfg.battery_fail_at_ms.is_none()
                     && f.fcfg.battery_restore_at_ms.is_none()
@@ -247,8 +249,20 @@ impl<'t> Simulator<'t> {
                             },
                         ))
                     }
-                    // Foreign disk failures belong to their own partition;
-                    // battery events are excluded by `partitionable`.
+                    FaultEvent::LatentError {
+                        array,
+                        disk,
+                        block,
+                        at,
+                    } if (lo..hi).contains(&array) => Some((
+                        at,
+                        FaultKind::LatentError {
+                            gdisk: array * self.dpa + disk,
+                            block,
+                        },
+                    )),
+                    // Foreign faults belong to their own partition; battery
+                    // events are excluded by `partitionable`.
                     _ => None,
                 })
                 .collect(),
@@ -256,6 +270,18 @@ impl<'t> Simulator<'t> {
         };
         for (at, kind) in fault_evs {
             self.engine.schedule_at(at, Ev::Fault(kind));
+        }
+        // Scrub roots last, in array order — the same relative order the
+        // serial loop uses.
+        if self
+            .fault
+            .as_ref()
+            .is_some_and(|f| f.fcfg.scrub_rate_mbps > 0)
+        {
+            for a in lo..hi {
+                self.engine
+                    .schedule_at(SimTime::ZERO, Ev::ScrubStep { array: a });
+            }
         }
         // A send only fails when the merge dropped its receiver, which it
         // does solely while panicking; the partition just finishes quietly
@@ -300,6 +326,8 @@ impl<'t> Simulator<'t> {
             buffer_waits,
             spool_stalls,
             fault,
+            failed_local,
+            dataloss,
             ..
         } = self;
         let _ = tx.send(ParMsg::Done(Box::new(PartFinal {
@@ -312,6 +340,8 @@ impl<'t> Simulator<'t> {
             buffer_waits,
             spool_stalls,
             fault,
+            failed_local,
+            dataloss,
             events_processed: engine.events_processed(),
             peak_pending: engine.peak_pending(),
             arrivals_owned,

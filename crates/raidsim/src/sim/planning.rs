@@ -184,12 +184,10 @@ impl OrgPlanner for Planner {
 }
 
 impl<'t> Simulator<'t> {
-    /// The failed disk's index within `array`, if the failure is in it.
+    /// The failed disk's index within `array`, if one is currently failed.
     #[inline]
     pub(super) fn failed_in(&self, array: u32) -> Option<u32> {
-        self.failed_gdisk
-            .filter(|&g| g / self.dpa == array)
-            .map(|g| g % self.dpa)
+        self.failed_local[array as usize]
     }
 
     /// The organization-appropriate write plan, accounting for a failed

@@ -81,7 +81,8 @@ impl<'t> Simulator<'t> {
             match r.window {
                 0 => f.resp_healthy.push(ms),
                 1 => f.resp_degraded.push(ms),
-                _ => f.resp_rebuilding.push(ms),
+                2 => f.resp_rebuilding.push(ms),
+                _ => f.resp_dataloss.push(ms),
             }
         }
         if r.is_read {
@@ -156,14 +157,28 @@ impl<'t> Simulator<'t> {
                 } else {
                     0
                 };
+            // Sum degraded exposure and rebuild spans over arrays and
+            // episodes; a window still open at the end of the run is
+            // truncated there.
+            let mut degraded_ns = 0u64;
+            let mut rebuild_ns = 0u64;
+            for af in &f.arr {
+                degraded_ns += af.degraded_banked_ns + af.degraded_since.map_or(0, |t0| end - t0);
+                if let Some(t0) = af.rebuild_started {
+                    rebuild_ns += af.rebuild_done.unwrap_or(end) - t0;
+                }
+            }
             FaultReport {
-                degraded_window_ms: f.failed_at.map_or(0.0, |t0| {
-                    simkit::time::ns_to_ms(f.healthy_at.unwrap_or(end) - t0)
-                }),
-                rebuild_ms: f.rebuild_started.map_or(0.0, |t0| {
-                    simkit::time::ns_to_ms(f.rebuild_done.unwrap_or(end) - t0)
-                }),
+                degraded_window_ms: simkit::time::ns_to_ms(degraded_ns),
+                rebuild_ms: simkit::time::ns_to_ms(rebuild_ns),
                 rebuild_blocks: f.rebuild_blocks,
+                disk_failures: f.disk_failures,
+                spares_used: f.spares_used,
+                latent_errors: f.latent_errors,
+                latent_repaired: f.latent_repaired,
+                scrub_blocks: f.scrub_blocks,
+                blocks_lost: f.blocks_lost,
+                lost_reads: f.lost_reads,
                 transient_errors: f.transient_errors,
                 retries: f.retries,
                 escalations: f.escalations,
@@ -174,6 +189,49 @@ impl<'t> Simulator<'t> {
                 response_healthy_ms: f.resp_healthy,
                 response_degraded_ms: f.resp_degraded,
                 response_rebuilding_ms: f.resp_rebuilding,
+                response_dataloss_ms: f.resp_dataloss,
+            }
+        });
+        let reliability = self.fault.as_ref().map(|f| {
+            let end = self.engine.now();
+            let mut exposure_ns = 0u64;
+            for af in &f.arr {
+                exposure_ns += af.degraded_banked_ns + af.degraded_since.map_or(0, |t0| end - t0);
+            }
+            let rebuilding = (0..self.arrays as usize)
+                .any(|a| self.failed_local[a].is_some() && f.arr[a].rebuild_active);
+            let health = if self.dataloss.iter().any(|&d| d) {
+                "data-loss"
+            } else if rebuilding {
+                "rebuilding"
+            } else if self.failed_local.iter().any(Option::is_some) {
+                "degraded"
+            } else {
+                "healthy"
+            };
+            let total_blocks = self.bpd * self.disks.len() as u64;
+            ReliabilityReport {
+                health: health.to_string(),
+                disk_failures: f.disk_failures,
+                spares_used: f.spares_used,
+                spares_available: f.arr.iter().map(|a| a.spares_left as u64).sum(),
+                latent_errors: f.latent_errors,
+                latent_repaired: f.latent_repaired,
+                scrub_blocks: f.scrub_blocks,
+                scrub_coverage: if total_blocks > 0 {
+                    f.scrub_blocks as f64 / total_blocks as f64
+                } else {
+                    0.0
+                },
+                blocks_lost: f.blocks_lost,
+                lost_reads: f.lost_reads,
+                exposure_ms: simkit::time::ns_to_ms(exposure_ns),
+                data_loss_at_ms: f
+                    .arr
+                    .iter()
+                    .filter_map(|a| a.data_loss_at)
+                    .min()
+                    .map(|t| t.as_ms_f64()),
             }
         });
         // Attached only off the FCFS default (or on explicit opt-in):
@@ -218,6 +276,7 @@ impl<'t> Simulator<'t> {
             buffer_waits: self.buffer_waits,
             elapsed_secs: self.engine.now().as_secs_f64(),
             faults,
+            reliability,
             timeseries: self.ts.clone(),
             scheduler,
         }
@@ -241,9 +300,12 @@ impl<'t> Simulator<'t> {
         for (g, d) in self.disks.iter().enumerate() {
             let busy = d.busy_ns();
             // Windowed busy fraction; can exceed 1.0 because service time is
-            // committed when an op starts, not accrued as it runs.
+            // committed when an op starts, not accrued as it runs. Saturate:
+            // spare promotion replaces the disk and zeroes its counter, so
+            // the first window after a rebuild starts may see `busy` below
+            // the previous snapshot.
             let frac = if dt > 0 {
-                (busy - self.prev_disk_busy[g]) as f64 / dt as f64
+                busy.saturating_sub(self.prev_disk_busy[g]) as f64 / dt as f64
             } else {
                 0.0
             };
@@ -271,7 +333,10 @@ impl<'t> Simulator<'t> {
             || self.inflight > 0
             || self.caches.iter().any(|c| c.dirty_count() > 0)
             || self.spools.iter().any(|s| !s.is_empty())
-            || self.fault.as_ref().is_some_and(|f| f.rebuild_active);
+            || self.fault.as_ref().is_some_and(|f| {
+                f.arr.iter().any(|a| a.rebuild_active)
+                    || (f.fcfg.scrub_rate_mbps > 0 && f.scrub.iter().any(|s| !s.done))
+            });
         if work_left {
             self.engine
                 .schedule_at(now + self.sample_period_ns, Ev::Sample);

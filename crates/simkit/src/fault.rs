@@ -72,13 +72,43 @@ impl FaultRng {
         let threshold = (p * (u64::MAX as f64)) as u64;
         self.next_u64() < threshold
     }
+
+    /// Uniform draw on `[0, 1)` with 53 bits of precision (the mantissa of
+    /// an `f64`), for inversion sampling of continuous distributions.
+    #[inline]
+    pub fn next_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Exponential inter-arrival draw with mean `mean` (inversion method).
+    /// Used to lay out Poisson substreams such as per-disk latent sector
+    /// errors; `mean` must be positive and finite.
+    #[inline]
+    pub fn next_exp(&mut self, mean: f64) -> f64 {
+        // 1 − u ∈ (0, 1]: ln never sees zero.
+        -(1.0 - self.next_unit()).ln() * mean
+    }
 }
 
 /// One injected fault event. Times are absolute simulation times.
+///
+/// Second and overlapping disk failures are expressed by scheduling more
+/// than one [`FaultEvent::DiskFail`]: the plan carries an arbitrary number
+/// of them and the consumer decides whether the overlap is survivable
+/// (rebuild restart onto the next spare) or a data-loss transition.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultEvent {
     /// Permanent failure of one physical disk (`disk` is local to `array`).
     DiskFail { array: u32, disk: u32, at: SimTime },
+    /// A latent sector error silently mars one block of one disk: the block
+    /// is unreadable from that disk, discovered only when a scrub pass (or
+    /// a rebuild needing the block as a reconstruction peer) touches it.
+    LatentError {
+        array: u32,
+        disk: u32,
+        block: u64,
+        at: SimTime,
+    },
     /// The NV cache's battery fails: dirty data is no longer safe, the
     /// controller must degrade to write-through.
     BatteryFail { at: SimTime },
@@ -92,6 +122,7 @@ impl FaultEvent {
     pub fn at(&self) -> SimTime {
         match *self {
             FaultEvent::DiskFail { at, .. }
+            | FaultEvent::LatentError { at, .. }
             | FaultEvent::BatteryFail { at }
             | FaultEvent::BatteryRestore { at } => at,
         }
@@ -144,7 +175,21 @@ impl FaultPlan {
     pub fn stream(&self, tag: u64) -> FaultRng {
         FaultRng::new(splitmix64(self.seed) ^ splitmix64(tag.wrapping_add(0x005F_A017_BE11)))
     }
+
+    /// Stream for per-disk latent sector errors. Lives in a tag namespace
+    /// disjoint from the per-disk transient-error streams (which use the raw
+    /// disk index, `0..total_disks`), so enabling latent-error generation
+    /// never perturbs the transient draws of an existing plan.
+    pub fn latent_stream(&self, gdisk: u64) -> FaultRng {
+        debug_assert!(gdisk < LATENT_STREAM_NS, "disk index overflows namespace");
+        self.stream(LATENT_STREAM_NS | gdisk)
+    }
 }
+
+/// Tag-namespace base for latent sector error streams. Per-class namespaces
+/// keep each fault class on its own substream: transient errors use tags
+/// `0..total_disks`, latent errors use `LATENT_STREAM_NS | gdisk`.
+pub const LATENT_STREAM_NS: u64 = 1 << 48;
 
 #[cfg(test)]
 mod tests {
@@ -198,6 +243,76 @@ mod tests {
         let c: Vec<u64> = (0..8).map(|_| s1.next_u64()).collect();
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn next_unit_stays_in_half_open_interval() {
+        let mut r = FaultRng::new(9);
+        for _ in 0..10_000 {
+            let u = r.next_unit();
+            assert!((0.0..1.0).contains(&u), "u = {u}");
+        }
+    }
+
+    #[test]
+    fn next_exp_is_positive_with_roughly_right_mean() {
+        let mut r = FaultRng::new(11);
+        let n = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = r.next_exp(250.0);
+            assert!(x >= 0.0 && x.is_finite());
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        // Loose band: sanity, not statistics.
+        assert!((200.0..300.0).contains(&mean), "mean = {mean}");
+    }
+
+    #[test]
+    fn latent_streams_are_disjoint_from_transient_streams() {
+        let plan = FaultPlan::new(0x4641_554C);
+        for gdisk in 0..16u64 {
+            let mut transient = plan.stream(gdisk);
+            let mut latent = plan.latent_stream(gdisk);
+            let t: Vec<u64> = (0..8).map(|_| transient.next_u64()).collect();
+            let l: Vec<u64> = (0..8).map(|_| latent.next_u64()).collect();
+            assert_ne!(t, l, "gdisk {gdisk}: namespaces collide");
+        }
+        // And latent streams are themselves per-disk independent.
+        let mut l0 = plan.latent_stream(0);
+        let mut l1 = plan.latent_stream(1);
+        assert_ne!(l0.next_u64(), l1.next_u64());
+    }
+
+    #[test]
+    fn streams_ignore_schedule_contents_and_order() {
+        // A stream is a pure function of (seed, tag): scheduling events —
+        // in any order, of any kind — must not perturb it.
+        let bare = FaultPlan::new(77);
+        let mut full = FaultPlan::new(77);
+        full.schedule(FaultEvent::LatentError {
+            array: 0,
+            disk: 1,
+            block: 42,
+            at: SimTime::from_ms(5),
+        });
+        full.schedule(FaultEvent::DiskFail {
+            array: 0,
+            disk: 1,
+            at: SimTime::from_ms(9),
+        });
+        for tag in [0u64, 3, LATENT_STREAM_NS | 2] {
+            let a: Vec<u64> = {
+                let mut s = bare.stream(tag);
+                (0..8).map(|_| s.next_u64()).collect()
+            };
+            let b: Vec<u64> = {
+                let mut s = full.stream(tag);
+                (0..8).map(|_| s.next_u64()).collect()
+            };
+            assert_eq!(a, b, "tag {tag}: schedule perturbed the stream");
+        }
     }
 
     #[test]

@@ -21,10 +21,13 @@
 //!    non-test, non-bench) code: parsers and fallible paths return
 //!    `Result`; genuine invariants document themselves via the escape
 //!    hatch below.
-//! 5. **`fault-rng`** — no `FaultRng::new` outside `simkit::fault`: fault
-//!    randomness must be drawn as named substreams of a `FaultPlan`
-//!    (`plan.stream(tag)`), so two consumers can never share — or
-//!    reorder draws from — one generator.
+//! 5. **`fault-rng`** — no `FaultRng::new` outside `simkit::fault`, and no
+//!    stream minting (`latent_stream`, the `splitmix64` mixer) outside the
+//!    fault-stream boundary: fault randomness must be drawn as named
+//!    substreams of a `FaultPlan` (`plan.stream(tag)`) built once at
+//!    fault-state construction, so two consumers can never share — or
+//!    reorder draws from — one generator, and mid-run code (scrub,
+//!    sparing, rebuild) can never re-mint a stream and replay its draws.
 //! 6. **`scheduler-seam`** — the layered-core seams stay sealed:
 //!    `DiskScheduler` implementations live only in `diskmodel`, and
 //!    `Organization::` variant dispatch appears only in `raidsim`'s
@@ -176,7 +179,10 @@ impl Rule {
             }
             Rule::FaultRng => {
                 "derive fault randomness as a named substream of the plan \
-                 (`plan.stream(tag)`); only simkit::fault may construct FaultRng directly"
+                 (`plan.stream(tag)`) minted once at fault-state construction; only \
+                 simkit::fault may construct FaultRng directly, and only the \
+                 fault-stream boundary (simkit::fault, raidsim sim/mod.rs) may mint \
+                 streams (latent_stream, splitmix64)"
             }
             Rule::SchedulerSeam => {
                 "dispatch through the layer traits: implement DiskScheduler in \
@@ -479,6 +485,17 @@ fn is_fault_boundary(path: &str) -> bool {
     path.replace('\\', "/").ends_with("simkit/src/fault.rs")
 }
 
+/// May this file *mint* fault-randomness streams (`latent_stream`, the
+/// `splitmix64` mixer)? `simkit::fault` defines the machinery; `raidsim`'s
+/// `sim/mod.rs` builds the per-disk streams once at fault-state
+/// construction. The scrub / sparing / rebuild machinery (`sim/faults.rs`
+/// and friends) must draw from streams minted there — re-minting mid-run
+/// replays the same draws and breaks the serial/partitioned identity.
+fn is_fault_stream_boundary(path: &str) -> bool {
+    let norm = path.replace('\\', "/");
+    norm.ends_with("simkit/src/fault.rs") || norm.ends_with("raidsim/src/sim/mod.rs")
+}
+
 /// May this file dispatch on `Organization::` variants? The planner seam
 /// confines organization knowledge to configuration, report labeling, the
 /// block-address maps, and the planning layer that wraps them.
@@ -700,6 +717,17 @@ pub(crate) fn per_file_matches(unit: &FileUnit, ws: &WsConfig) -> Vec<RawMatch> 
                 if !is_fault_boundary(path)
                     && path_sep(i + 1)
                     && toks.get(i + 3).and_then(|t| t.ident()) == Some("new") =>
+            {
+                add(Rule::FaultRng, toks[i].line, toks[i].col);
+            }
+            // Stream *minting* is construction too: deriving a substream
+            // (`plan.latent_stream(gdisk)`) or mixing a seed by hand
+            // (`splitmix64`) is confined to the fault-stream boundary, so
+            // the scrub/sparing/rebuild modules can only draw from streams
+            // built once at fault-state construction.
+            Some("latent_stream" | "splitmix64")
+                if !is_fault_stream_boundary(path)
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('(')) =>
             {
                 add(Rule::FaultRng, toks[i].line, toks[i].col);
             }
@@ -1088,6 +1116,33 @@ mod tests {
         assert_eq!(rules_of(&d), vec![Rule::FaultRng]);
         // Deriving a named substream from the plan is the sanctioned way.
         let d = lint("fn f(p: &FaultPlan) { let _r = p.stream(3); }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn flags_stream_minting_outside_the_fault_stream_boundary() {
+        // Scrub/sparing/rebuild code must not re-mint a latent stream
+        // mid-run — it would replay the construction-time draws.
+        let src = "fn f(p: &FaultPlan) { let _r = p.latent_stream(3); }\n";
+        let d = analyze_source("crates/raidsim/src/sim/faults.rs", src, &Config::default());
+        assert_eq!(rules_of(&d), vec![Rule::FaultRng]);
+        // Nor mix seeds by hand instead of going through the plan.
+        let d = analyze_source(
+            "crates/raidsim/src/sim/faults.rs",
+            "fn f(s: u64) -> u64 { splitmix64(s ^ 3) }\n",
+            &Config::default(),
+        );
+        assert_eq!(rules_of(&d), vec![Rule::FaultRng]);
+        // The boundary files build the streams once, legitimately.
+        for path in [
+            "crates/simkit/src/fault.rs",
+            "crates/raidsim/src/sim/mod.rs",
+        ] {
+            let d = analyze_source(path, src, &Config::default());
+            assert!(d.is_empty(), "{path}: {d:?}");
+        }
+        // Mentioning the name without a call (docs, a field) is fine.
+        let d = lint("fn f() { let latent_stream = 3; let _ = latent_stream; }\n");
         assert!(d.is_empty(), "{d:?}");
     }
 

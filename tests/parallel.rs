@@ -9,8 +9,10 @@
 //! it exactly whether it actually partitioned (multi-array traces) or fell
 //! back (one array, one thread, non-partitionable observability).
 
+use diskmodel::DiskGeometry;
 use raidsim::{
     CacheConfig, DiskFailure, FaultConfig, Organization, ParityPlacement, SimConfig, Simulator,
+    SparingMode,
 };
 use tracegen::{SynthSpec, Trace};
 
@@ -244,6 +246,87 @@ fn fault_injected_parallel_run_matches_serial() {
                     par,
                     serial,
                     "{} (cached={cached}, threads={threads}): fault-injected \
+                     parallel report diverged from serial",
+                    org.label()
+                );
+            }
+        }
+    }
+}
+
+/// The full lifecycle fault matrix — latent sector errors, a background
+/// scrub, an overlapping second failure, both sparing modes — engaged at
+/// once. Every piece of that machinery is per-array state (per-disk latent
+/// sets, per-array scrub cursors and spare pools, the `DataLoss` flag), so
+/// the run must still partition, and the merge must reproduce the serial
+/// bytes for every sparing mode and thread count. Small disks keep the
+/// scrub sweep (which the run drains to completion) inside milliseconds of
+/// simulated time.
+#[test]
+fn lifecycle_fault_matrix_parallel_matches_serial() {
+    let geometry = DiskGeometry {
+        cylinders: 2,
+        ..DiskGeometry::default()
+    };
+    let trace = SynthSpec {
+        name: "matrix".into(),
+        seed: 0xFA57,
+        n_disks: 12,
+        blocks_per_disk: geometry.blocks_per_disk(),
+        n_requests: 600,
+        duration_secs: 8.0,
+        busy_speedup: 1.0,
+        ..SynthSpec::trace2()
+    }
+    .generate();
+    for org in [
+        Organization::Mirror,
+        Organization::Raid5 { striping_unit: 1 },
+        Organization::Raid4 { striping_unit: 1 },
+        Organization::ParityStriping {
+            placement: ParityPlacement::Middle,
+        },
+    ] {
+        for sparing in [SparingMode::Hot, SparingMode::Distributed] {
+            let make = || {
+                let mut cfg = SimConfig::with_organization(org);
+                cfg.geometry = geometry.clone();
+                cfg.data_disks_per_array = 4;
+                cfg.seed = 7;
+                cfg.fault = Some(FaultConfig {
+                    disk_failure: Some(DiskFailure {
+                        array: 1,
+                        disk: 1,
+                        at_ms: 1_000,
+                    }),
+                    second_failure: Some(DiskFailure {
+                        array: 2,
+                        disk: 0,
+                        at_ms: 3_000,
+                    }),
+                    spare: true,
+                    spare_count: 1,
+                    sparing,
+                    rebuild_rate_mbps: 2,
+                    latent_rate_per_hour: 2_000.0,
+                    scrub_rate_mbps: 4,
+                    ..FaultConfig::default()
+                });
+                cfg
+            };
+            let serial = serial_report(make(), &trace);
+            for threads in [2, 3, 8] {
+                let (par, parallel) = par_report(make(), &trace, threads);
+                assert!(
+                    parallel,
+                    "{} ({sparing:?}): the lifecycle matrix is partition-local \
+                     and must not force the serial fallback",
+                    org.label()
+                );
+                assert_eq!(
+                    par,
+                    serial,
+                    "{} ({sparing:?}, threads={threads}): lifecycle-matrix \
                      parallel report diverged from serial",
                     org.label()
                 );

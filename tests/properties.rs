@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use raidsim::{CacheConfig, Organization, ParityPlacement, SimConfig, Simulator};
-use simkit::SimTime;
+use simkit::{FaultEvent, FaultPlan, SimTime};
 use tracegen::{AccessType, Trace, TraceRecord};
 
 fn arb_org() -> impl Strategy<Value = Organization> {
@@ -104,6 +104,66 @@ proptest! {
         }
         prop_assert!(r.disk_ops >= trace.len() as u64);
         prop_assert_eq!(r.per_disk_accesses.total(), r.disk_ops);
+    }
+
+    /// The fault plan's named substreams are a pure function of
+    /// `(seed, tag)`: scheduling events — any events, in any order — must
+    /// not shift a single draw, and streams for distinct tags (including
+    /// the latent-error namespace overlaying the same disk indices) must
+    /// be mutually independent sequences. This is what lets a config grow
+    /// a second failure, latent errors, or a scrub without perturbing the
+    /// transient-error draws of an existing run.
+    #[test]
+    fn fault_plan_substreams_ignore_schedule_and_each_other(
+        seed in any::<u64>(),
+        raw_tags in proptest::collection::vec(0u64..10_000, 2..6),
+        events in proptest::collection::vec(
+            (0u64..10_000_000, 0u32..8, 0u32..8), 1..12),
+    ) {
+        let mut tags = raw_tags;
+        tags.sort_unstable();
+        tags.dedup();
+        let draws = |mut rng: simkit::FaultRng| -> Vec<u64> {
+            (0..16).map(|_| rng.next_u64()).collect()
+        };
+        let empty = FaultPlan::new(seed);
+        let mut forward = FaultPlan::new(seed);
+        let mut backward = FaultPlan::new(seed);
+        for &(at_us, array, disk) in &events {
+            forward.schedule(FaultEvent::DiskFail {
+                array,
+                disk,
+                at: SimTime::ZERO + at_us * 1_000,
+            });
+        }
+        for &(at_us, array, disk) in events.iter().rev() {
+            backward.schedule(FaultEvent::LatentError {
+                array,
+                disk,
+                block: at_us,
+                at: SimTime::ZERO + at_us * 1_000,
+            });
+        }
+        let mut seqs: Vec<Vec<u64>> = Vec::new();
+        for &tag in &tags {
+            let a = draws(empty.stream(tag));
+            prop_assert_eq!(&a, &draws(forward.stream(tag)),
+                "schedule contents shifted stream {}", tag);
+            prop_assert_eq!(&a, &draws(backward.stream(tag)),
+                "schedule order/kind shifted stream {}", tag);
+            // The latent namespace overlays the same tag values without
+            // colliding with them.
+            let l = draws(empty.latent_stream(tag));
+            prop_assert_ne!(&a, &l, "latent stream {} collides with transient", tag);
+            seqs.push(a);
+            seqs.push(l);
+        }
+        for i in 0..seqs.len() {
+            for j in (i + 1)..seqs.len() {
+                prop_assert_ne!(&seqs[i], &seqs[j],
+                    "streams {} and {} are correlated", i, j);
+            }
+        }
     }
 
     /// Runs are reproducible: the same inputs give byte-identical counters.

@@ -132,13 +132,19 @@ fn fault_scenario(discipline: Discipline, duration_secs: f64) -> (Trace, SimConf
 /// the same seam swap; its baseline hash must hold too. This hash also
 /// pins the abort *drain* order: `DiskScheduler::drain` aborts FCFS
 /// queues byte-identically to the pop loop it replaced.
+///
+/// Re-pinned when the failure-lifecycle work extended `FaultReport` and
+/// added the `reliability` section: every timing-bearing statistic
+/// (response accumulators, utilizations, disk_ops, degraded/rebuild
+/// windows) was verified byte-identical against the pre-lifecycle build —
+/// only the report's shape changed.
 #[test]
 fn fcfs_fault_injection_hash_matches_pre_refactor_baseline() {
     let (trace, cfg) = fault_scenario(Discipline::Fcfs, 8.0);
     let s = serialized_report(cfg, &trace);
     assert_eq!(
         fnv1a(s.as_bytes()),
-        0x3330_de5a_6fc1_b96a,
+        0xbf3b_f1c4_370a_adf2,
         "fault-injected FCFS report diverged from the pre-refactor baseline"
     );
 }
