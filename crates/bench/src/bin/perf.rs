@@ -8,13 +8,15 @@
 //! future PRs from quietly slowing the hot path.
 //!
 //! ```text
-//! perf                          # measure, write BENCH_8.json
+//! perf                          # measure, write BENCH_10.json
 //! perf --scale 0.05 --reps 3    # smaller workload, best-of-3 timing
-//! perf --check BENCH_8.json     # measure, then gate against a baseline
-//! perf --check BENCH_8.json --tolerance 0.5   # cross-machine smoke gate
+//! perf --check BENCH_10.json    # measure, then gate against a baseline
+//! perf --check BENCH_10.json --tolerance 0.5  # cross-machine smoke gate
 //! perf --sweep-grid 24          # time sweep::run_all on a mixed grid
 //! perf --par-run 8              # add the partitioned-run axis at 8 threads
 //! perf --par-run 4 --min-speedup 2.0          # multi-core CI speedup gate
+//! perf --fleet-run 4            # fleet axis at 4 VA-level threads
+//! perf --fleet-run 0            # disable the fleet axis (on by default)
 //! ```
 //!
 //! `--par-run T` adds a second axis on a *multi-array* Trace 1 workload
@@ -31,17 +33,25 @@
 //! partitioned wall-clock speedup reaches `F` — for CI on multi-core
 //! hosts; 1-CPU hosts should omit it and gate on amplification alone.
 //!
+//! The **fleet axis** (on by default, `--fleet-run T` to set the thread
+//! count, `0` to disable) times the 16-VA heterogeneous demo fleet serial
+//! and VA-parallel, byte-compares the two fleet reports, and hard-fails if
+//! the fleet's replay amplification exceeds 1.1 — the router's pre-split
+//! guarantees exactly 1.0 (every routed arrival is owned by one VA feed),
+//! so anything above it means the fleet layer started re-executing work.
+//!
 //! All simulated results (mean response times) are independent of this
 //! harness: it times the same deterministic runs the science binaries use.
 
 use bench::perf::{check, PerfReport, PerfRun};
 use raidsim::{
-    run_all, CacheConfig, NamedRun, Organization, ParityPlacement, SimConfig, Simulator,
+    run_all, run_fleet, CacheConfig, FleetConfig, NamedRun, Organization, ParityPlacement,
+    SimConfig, Simulator,
 };
 use std::time::Instant;
 use tracegen::SynthSpec;
 
-const BENCH_ID: u64 = 8;
+const BENCH_ID: u64 = 10;
 
 struct Args(Vec<String>);
 
@@ -73,7 +83,7 @@ fn die(msg: &str) -> ! {
     eprintln!(
         "usage: perf [--scale F] [--reps N] [--seed N] [--out PATH]\n\
          \t[--check BASELINE.json] [--tolerance F] [--sweep-grid N] [--threads N]\n\
-         \t[--par-run T] [--par-scale F] [--min-speedup F]"
+         \t[--par-run T] [--par-scale F] [--min-speedup F] [--fleet-run T|0]"
     );
     std::process::exit(2)
 }
@@ -110,9 +120,10 @@ fn main() {
     }
     let reps: usize = args.parse("--reps", 1).max(1);
     let seed: u64 = args.parse("--seed", 7);
-    let out_path = args.get("--out").unwrap_or("BENCH_8.json").to_string();
+    let out_path = args.get("--out").unwrap_or("BENCH_10.json").to_string();
     let tolerance: f64 = args.parse("--tolerance", 0.15);
     let par_threads: usize = args.parse("--par-run", 0);
+    let fleet_threads: usize = args.parse("--fleet-run", 2);
     let par_scale: f64 = args.parse("--par-scale", 0.02);
     let min_speedup: f64 = args.parse("--min-speedup", 0.0);
     if !(par_scale > 0.0 && par_scale <= 1.0) {
@@ -193,6 +204,15 @@ fn main() {
             reps,
             seed,
             min_speedup,
+            &mut runs,
+            &mut total_events,
+            &mut total_wall,
+        );
+    }
+    if fleet_threads > 0 {
+        fleet_axis(
+            fleet_threads,
+            reps,
             &mut runs,
             &mut total_events,
             &mut total_wall,
@@ -397,6 +417,95 @@ fn par_axis(
             "best partitioned speedup {best_speedup:.2}x is below the --min-speedup \
              {min_speedup:.2}x gate at {threads} threads"
         ));
+    }
+}
+
+/// The fleet axis: the 16-VA heterogeneous demo fleet, serial and
+/// VA-parallel at `threads` workers. The parallel report must be
+/// byte-identical to the serial one, and the fleet's replay amplification
+/// is gated at ≤ 1.1 (the router's pre-split makes it exactly 1.0; any
+/// excess means VA feeds started overlapping). Rows count serial events
+/// over each mode's wall time.
+fn fleet_axis(
+    threads: usize,
+    reps: usize,
+    runs: &mut Vec<PerfRun>,
+    total_events: &mut u64,
+    total_wall: &mut f64,
+) {
+    let fleet = FleetConfig::demo();
+    eprintln!(
+        "\nfleet axis ({} VAs, {} tenants, {threads} VA-level threads)…",
+        fleet.arrays.len(),
+        fleet.tenants.len()
+    );
+    let timed = |threads: usize| -> (f64, raidsim::FleetReport, raidsim::RunStats) {
+        let mut best: Option<(f64, raidsim::FleetReport, raidsim::RunStats)> = None;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let (report, stats) =
+                run_fleet(&fleet, threads).unwrap_or_else(|e| die(&format!("fleet: {e}")));
+            let wall = t0.elapsed().as_secs_f64();
+            if best.as_ref().is_none_or(|(w, ..)| wall < *w) {
+                best = Some((wall, report, stats));
+            }
+        }
+        // simlint::allow(panic-policy): reps >= 1, so a best run exists
+        best.expect("reps >= 1")
+    };
+    let (s_wall, s_report, s_stats) = timed(1);
+    let (p_wall, p_report, p_stats) = timed(threads);
+    if format!("{s_report:#?}") != format!("{p_report:#?}") {
+        die("fleet: parallel report diverged from serial — determinism violation");
+    }
+    if p_stats.replay_amplification > 1.1 {
+        die(&format!(
+            "fleet: replay amplification {:.3} exceeds the 1.1 budget — \
+             VA arrival feeds are overlapping",
+            p_stats.replay_amplification
+        ));
+    }
+    let requests: u64 = s_report.requests_completed;
+    let events = s_stats.events_processed;
+    // Fleet-wide mean response: completion-weighted across VAs.
+    let mean_ms = s_report
+        .vas
+        .iter()
+        .map(|v| v.report.mean_response_ms() * v.report.requests_completed as f64)
+        .sum::<f64>()
+        / requests.max(1) as f64;
+    eprintln!(
+        "{:<16} {:>6} {:>10} {:>9} {:>12} {:>8} {:>6}",
+        "run", "cache", "events", "wall s", "events/s", "speedup", "amp"
+    );
+    for (label, wall, stats, speedup) in [
+        ("fleet@serial".to_string(), s_wall, &s_stats, 1.0),
+        (
+            format!("fleet@par{threads}"),
+            p_wall,
+            &p_stats,
+            s_wall / p_wall,
+        ),
+    ] {
+        let eps = events as f64 / wall;
+        eprintln!(
+            "{:<16} {:>6} {:>10} {:>9.3} {:>12.0} {:>7.2}x {:>6.3}",
+            label, false, events, wall, eps, speedup, stats.replay_amplification
+        );
+        *total_events += events;
+        *total_wall += wall;
+        runs.push(PerfRun {
+            label,
+            cached: false,
+            requests,
+            events,
+            wall_secs: wall,
+            events_per_sec: eps,
+            peak_queue_depth: stats.peak_pending as u64,
+            mean_response_ms: mean_ms,
+            replay_amplification: stats.replay_amplification,
+            journal_bytes: stats.journal_bytes,
+        });
     }
 }
 

@@ -12,8 +12,8 @@
 //! Prints the report summary plus the per-disk utilization/access table.
 
 use raidsim::{
-    CacheConfig, Discipline, DiskFailure, FaultConfig, Organization, ParityPlacement, SimConfig,
-    Simulator, SparingMode, SyncPolicy,
+    run_fleet, CacheConfig, Discipline, DiskFailure, FaultConfig, FleetConfig, Organization,
+    ParityPlacement, SimConfig, Simulator, SparingMode, SyncPolicy,
 };
 use tracegen::{fmt, transform, SynthSpec, Trace};
 
@@ -45,7 +45,8 @@ impl Args {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: simulate --org <base|mirror|raid5|raid4|parstrip> [--n N] [--su BLOCKS]\n\
+        "usage: simulate --fleet <demo|small|SPEC_FILE> [--threads N]\n\
+         \tor:  simulate --org <base|mirror|raid5|raid4|parstrip> [--n N] [--su BLOCKS]\n\
          \t[--placement middle|end|rotated] [--band BLOCKS] [--sync si|rf|rfpr|df|dfpr]\n\
          \t[--sched fcfs|sstf|scan] [--sched-stats]\n\
          \t[--cache MB] [--destage MS] [--failed ARRAY:DISK]\n\
@@ -87,10 +88,88 @@ fn parse_fail_disk(spec: &str) -> DiskFailure {
     DiskFailure { array, disk, at_ms }
 }
 
+/// `--fleet` path: run a whole fleet of virtual arrays and print the
+/// per-VA / per-tenant tables. Every malformed-spec path — parse errors,
+/// validation (duplicate tenant id, unknown disk class, overcommitted
+/// pool), allocation exhaustion — reports through `die()` with the
+/// offending field; none of them panic.
+fn run_fleet_cli(args: &Args, spec: &str) -> ! {
+    let fleet = match spec {
+        "demo" => FleetConfig::demo(),
+        "small" => FleetConfig::small(),
+        path => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("cannot read fleet spec {path}: {e}")));
+            FleetConfig::parse_spec(&text).unwrap_or_else(|e| die(&e))
+        }
+    };
+    let threads: usize = args.parse("--threads", 0);
+    eprintln!(
+        "fleet: {} virtual arrays over {} disk classes, {} tenants, {:.1} s…",
+        fleet.arrays.len(),
+        fleet.classes.len(),
+        fleet.tenants.len(),
+        fleet.duration_secs,
+    );
+    let t0 = std::time::Instant::now();
+    let (report, stats) = run_fleet(&fleet, threads).unwrap_or_else(|e| die(&e));
+    eprintln!("simulated in {:.2?}\n", t0.elapsed());
+
+    println!(
+        "fleet: {} requests completed | {:.1} s simulated | {:.0} events/sim-s | \
+         replay amplification {:.3}",
+        report.requests_completed,
+        report.elapsed_secs,
+        report.events_per_sim_sec,
+        stats.replay_amplification,
+    );
+    println!(
+        "\n{:<8} {:<8} {:<6} {:>9} {:>9} {:>9}  tenants",
+        "array", "org", "class", "completed", "mean ms", "p99 ms"
+    );
+    for va in &report.vas {
+        println!(
+            "{:<8} {:<8} {:<6} {:>9} {:>9.2} {:>9.1}  {}{}",
+            va.name,
+            va.organization,
+            va.disk_class,
+            va.report.requests_completed,
+            va.report.mean_response_ms(),
+            va.report.quantile_ms(0.99),
+            va.tenants.join(","),
+            if va.degraded { "  [degraded]" } else { "" },
+        );
+    }
+    println!(
+        "\n{:<10} {:<8} {:>9} {:>9} {:>9}",
+        "tenant", "array", "completed", "mean ms", "p99 ms"
+    );
+    for t in &report.tenants {
+        println!(
+            "{:<10} {:<8} {:>9} {:>9.2} {:>9.1}{}",
+            t.id,
+            t.va,
+            t.completed,
+            t.response_ms.mean(),
+            t.p99_ms,
+            if t.degraded { "  [degraded]" } else { "" },
+        );
+    }
+    if report.blast_radius.is_empty() {
+        println!("\nno disk failures: blast radius empty");
+    } else {
+        println!("\nrebuild blast radius: {}", report.blast_radius.join(", "));
+    }
+    std::process::exit(0)
+}
+
 fn main() {
     let args = Args(std::env::args().skip(1).collect());
     if args.flag("--help") || args.flag("-h") {
         die("help requested");
+    }
+    if let Some(spec) = args.get("--fleet") {
+        run_fleet_cli(&args, spec);
     }
 
     // --- organization ---------------------------------------------------

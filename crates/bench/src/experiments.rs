@@ -7,8 +7,8 @@
 use crate::Workloads;
 use diskmodel::{DiskGeometry, SeekCurve};
 use raidsim::{
-    CacheConfig, Discipline, DiskFailure, FaultConfig, Organization, ParityPlacement, SimConfig,
-    SimReport, Simulator, SparingMode, SyncPolicy,
+    run_fleet, CacheConfig, Discipline, DiskFailure, FaultConfig, FleetConfig, Organization,
+    ParityPlacement, SimConfig, SimReport, Simulator, SparingMode, SyncPolicy,
 };
 use raidtp_stats::Table;
 use tracegen::{transform, Trace, TraceStats};
@@ -1044,6 +1044,65 @@ pub fn scheduling(w: &Workloads) {
     println!();
 }
 
+/// Fleet audit: the built-in 16-VA heterogeneous fleet, reported per
+/// virtual array and per tenant (traces are generated by the fleet router,
+/// so the shared workloads are unused).
+pub fn fleet(_w: &Workloads) {
+    println!("== Fleet: 16 heterogeneous virtual arrays, one trace router ==\n");
+    let cfg = FleetConfig::demo();
+    let (report, stats) = run_fleet(&cfg, 0).expect("the built-in demo fleet runs");
+    println!(
+        "{} requests | {:.1} s simulated | {:.0} events/sim-s | replay amplification {:.3}\n",
+        report.requests_completed,
+        report.elapsed_secs,
+        report.events_per_sim_sec,
+        stats.replay_amplification,
+    );
+    let mut t = Table::new(&[
+        "array",
+        "org",
+        "class",
+        "completed",
+        "mean ms",
+        "p99 ms",
+        "state",
+        "tenants",
+    ]);
+    for va in &report.vas {
+        t.row(&[
+            va.name.clone(),
+            va.organization.clone(),
+            va.disk_class.clone(),
+            va.report.requests_completed.to_string(),
+            ms(va.report.mean_response_ms()),
+            ms(va.report.quantile_ms(0.99)),
+            if va.degraded { "degraded" } else { "ok" }.to_string(),
+            va.tenants.join(","),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!("\n-- per tenant --");
+    let mut t = Table::new(&["tenant", "array", "completed", "mean ms", "p99 ms", "state"]);
+    for tr in &report.tenants {
+        t.row(&[
+            tr.id.clone(),
+            tr.va.clone(),
+            tr.completed.to_string(),
+            ms(tr.response_ms.mean()),
+            ms(tr.p99_ms),
+            if tr.degraded { "degraded" } else { "ok" }.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    if report.blast_radius.is_empty() {
+        println!("\nno disk failures: blast radius empty");
+    } else {
+        println!("\nrebuild blast radius: {}", report.blast_radius.join(", "));
+    }
+    println!();
+}
+
 /// All experiment ids in paper order.
 pub const ALL: &[Experiment] = &[
     ("table1", table1),
@@ -1070,6 +1129,7 @@ pub const ALL: &[Experiment] = &[
     ("finegrain", finegrain),
     ("breakdown", breakdown),
     ("scheduling", scheduling),
+    ("fleet", fleet),
 ];
 
 #[cfg(test)]

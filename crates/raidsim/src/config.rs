@@ -67,6 +67,18 @@ impl Organization {
             Organization::ParityStriping { .. } => "ParStrip",
         }
     }
+
+    /// Physical accesses one host *write* costs under this organization
+    /// (reads always cost one). Mirror doubles; the parity organizations
+    /// pay the read-modify-write: old data + old parity + new data + new
+    /// parity. Used by the fleet allocation planner's bandwidth model.
+    pub fn write_amplification(&self) -> f64 {
+        match self {
+            Organization::Base => 1.0,
+            Organization::Mirror => 2.0,
+            _ => 4.0,
+        }
+    }
 }
 
 /// Parity/data synchronization policies for update requests (Section 3.3).

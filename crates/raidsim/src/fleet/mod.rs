@@ -1,0 +1,42 @@
+//! Fleet layer: many heterogeneous virtual arrays behind one trace router.
+//!
+//! The single-array simulator answers "how does *one* organization behave
+//! under *one* workload". Real installations — and the heterogeneous disk
+//! array literature (Thomasian & Xu) — pose the next question up: given a
+//! *pool* of drives of different classes, how should many tenant workloads
+//! be carved into **virtual arrays** (VA), each with its own organization,
+//! disk class, cache share, and fault plan, and what does each tenant then
+//! observe?
+//!
+//! The layer is four pieces, one per submodule:
+//!
+//! - [`config`]: [`FleetConfig`] — disk classes, VA specs, tenant demands —
+//!   with field-naming validation (a malformed spec reports the offending
+//!   field, never panics).
+//! - [`alloc`]: [`allocate`] — a single-pass best-fit planner on bandwidth
+//!   and capacity, turning tenant demands into placements on VAs and VAs
+//!   into per-VA [`crate::SimConfig`]s over contiguous fleet-global logical
+//!   disk spans.
+//! - [`run`]: [`run_fleet`] — per-tenant substreams routed through
+//!   [`tracegen::route`] into one master arrival stream, pre-split by VA
+//!   via [`tracegen::Trace::split_arrivals`] (every record lands in exactly
+//!   one VA: zero replay amplification), then simulated serially or
+//!   work-stealing-parallel across VAs with per-disk-class warm-start
+//!   pools. Results merge in VA index order, so the parallel run is
+//!   byte-identical to the serial one.
+//! - [`report`]: [`FleetReport`] — per-VA [`crate::SimReport`]s, per-tenant
+//!   response statistics (mean + p99 from exact Welford/histogram merges),
+//!   fleet throughput in events per *simulated* second (never wall-clock,
+//!   which would break determinism hashing), and the rebuild blast radius:
+//!   which tenants sat on a VA that lost a disk.
+
+pub mod alloc;
+pub mod config;
+pub mod report;
+pub mod run;
+pub mod spec;
+
+pub use alloc::{allocate, FleetPlan, VaPlan};
+pub use config::{DiskClass, FleetConfig, TenantSpec, VirtualArraySpec};
+pub use report::{FleetReport, TenantReport, VaReport};
+pub use run::run_fleet;

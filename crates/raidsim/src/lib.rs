@@ -28,6 +28,7 @@
 
 pub mod analytic;
 pub mod config;
+pub mod fleet;
 pub mod mapping;
 pub mod report;
 pub mod sim;
@@ -38,8 +39,13 @@ pub use config::{
     SimConfig, SparingMode, SyncPolicy,
 };
 pub use diskmodel::Discipline;
+pub use fleet::{
+    allocate, run_fleet, DiskClass, FleetConfig, FleetPlan, FleetReport, TenantReport, TenantSpec,
+    VaPlan, VaReport, VirtualArraySpec,
+};
 pub use report::{
-    FaultReport, PhaseSample, PhaseWelfords, ReliabilityReport, SchedulerReport, SimReport,
+    ClassReport, FaultReport, PhaseSample, PhaseWelfords, ReliabilityReport, SchedulerReport,
+    SimReport,
 };
 pub use sim::{PartStats, RunStats, Simulator, WarmDisks};
 pub use sweep::{run_all, NamedRun};

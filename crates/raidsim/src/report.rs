@@ -52,6 +52,50 @@ impl PhaseSample {
     }
 }
 
+/// Per-request-class response statistics. Classes are an opt-in tagging of
+/// trace records (the fleet layer tags one class per tenant); a simulator
+/// with classes set returns one `ClassReport` per class out-of-band from
+/// `run_classed`, leaving [`SimReport`]'s serialized form — which the
+/// determinism suite hashes — untouched. Accumulators are pushed in
+/// completion order, so two runs producing the same completion schedule
+/// produce bit-identical class reports; merging across virtual arrays in
+/// fixed VA index order keeps the fleet aggregate deterministic too.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClassReport {
+    pub completed: u64,
+    pub response_ms: Welford,
+    pub histogram_ms: Histogram,
+}
+
+impl ClassReport {
+    pub fn new() -> ClassReport {
+        ClassReport {
+            completed: 0,
+            response_ms: Welford::new(),
+            histogram_ms: Histogram::response_time_ms(),
+        }
+    }
+
+    /// Fold another class's accumulators into this one (exact: Welford
+    /// merge plus bucket-count addition).
+    pub fn merge(&mut self, other: &ClassReport) {
+        self.completed += other.completed;
+        self.response_ms.merge(&other.response_ms);
+        self.histogram_ms.merge(&other.histogram_ms);
+    }
+
+    /// 99th-percentile response time from the histogram, ms.
+    pub fn p99_ms(&self) -> f64 {
+        self.histogram_ms.quantile(0.99)
+    }
+}
+
+impl Default for ClassReport {
+    fn default() -> Self {
+        ClassReport::new()
+    }
+}
+
 /// Streaming per-phase statistics (ms), one [`Welford`] per phase.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct PhaseWelfords {

@@ -35,13 +35,15 @@ impl<'t> Simulator<'t> {
                 self.admission_wait[array as usize].push_back((idx, needed));
                 return;
             }
-            self.process_record(&rec, needed);
+            self.process_record(idx, needed);
         } else {
-            self.process_record(&rec, 0);
+            self.process_record(idx, 0);
         }
     }
 
-    pub(super) fn process_record(&mut self, rec: &TraceRecord, buffers_held: u32) {
+    pub(super) fn process_record(&mut self, idx: usize, buffers_held: u32) {
+        let rec = self.trace.records[idx];
+        let rec = &rec;
         let array = rec.disk / self.n;
         let ldisk = rec.disk % self.n;
         let laddr = (ldisk as u64 * self.bpd + rec.block) % self.planner.logical_capacity();
@@ -64,6 +66,7 @@ impl<'t> Simulator<'t> {
                 Some(_) => 1,
             }
         };
+        let class = self.classes.as_ref().map_or(0, |c| c.of_record[idx]);
         let req = self.reqs.insert(Request {
             arrive: rec.at,
             is_read: rec.kind == AccessType::Read,
@@ -77,6 +80,7 @@ impl<'t> Simulator<'t> {
             stage_end: now,
             phase: PhaseSample::default(),
             window,
+            class,
         });
         self.inflight += 1;
         if let Some(p) = self.par.as_deref_mut() {
@@ -216,8 +220,7 @@ impl<'t> Simulator<'t> {
                 break;
             }
             self.admission_wait[array as usize].pop_front();
-            let rec = self.trace.records[idx];
-            self.process_record(&rec, needed);
+            self.process_record(idx, needed);
         }
     }
 }

@@ -54,7 +54,8 @@ mod soa;
 use crate::config::{FaultConfig, Organization, SimConfig, SparingMode, SyncPolicy};
 use crate::mapping::{OrgMap, Run, StripeMode};
 use crate::report::{
-    FaultReport, PhaseSample, PhaseWelfords, ReliabilityReport, SchedulerReport, SimReport,
+    ClassReport, FaultReport, PhaseSample, PhaseWelfords, ReliabilityReport, SchedulerReport,
+    SimReport,
 };
 use diskmodel::{
     rmw_write_complete, AccessKind, Band, Discipline, Disk, DiskScheduler, SchedulerQueue,
@@ -66,7 +67,7 @@ use simkit::{Engine, EventId, FaultEvent, FaultPlan, FaultRng, SimTime};
 use slab::Slab;
 use soa::{JobSlab, OpSlab};
 use std::collections::VecDeque;
-use tracegen::{AccessType, Trace, TraceRecord};
+use tracegen::{AccessType, Trace};
 
 use faults::{FaultKind, FaultState};
 use par::{ParState, StatPush};
@@ -223,6 +224,8 @@ struct Request {
     /// rebuild running), 2 rebuilding, 3 data loss. Buckets the per-window
     /// response statistics of [`FaultReport`].
     window: u8,
+    /// Request class (fleet tenant id); 0 unless classes are tagged.
+    class: u16,
 }
 
 /// Parameters of one write decomposition (host write or cache writeback).
@@ -357,9 +360,22 @@ impl WarmDisks {
     }
 
     /// Whether a configuration can reuse this pool's drives.
-    fn matches(&self, cfg: &SimConfig) -> bool {
+    /// Whether `cfg` would produce drives identical to this pool's — the
+    /// pool is reusable for any run agreeing on seed, geometry, and seek
+    /// curve (a *disk class*, in fleet terms), regardless of organization,
+    /// cache, or fault plan.
+    pub fn matches(&self, cfg: &SimConfig) -> bool {
         self.seed == cfg.seed && self.geometry == cfg.geometry && self.seek == cfg.seek
     }
+}
+
+/// Opt-in request-class tagging: `of_record[i]` is the class of trace
+/// record `i` (the fleet layer assigns one class per tenant), with one
+/// response accumulator set per class, pushed at request completion in
+/// completion order. Purely observational — tagging never touches timing.
+struct ClassState {
+    of_record: Vec<u16>,
+    reports: Vec<ClassReport>,
 }
 
 /// Partition scope handed to construction by the parallel runner: the
@@ -455,6 +471,10 @@ pub struct Simulator<'t> {
     // the hot paths pay one branch.
     par: Option<Box<ParState>>,
 
+    // Request-class tagging (fleet tenants); `None` unless set_classes was
+    // called, so untagged runs pay one branch per completion.
+    classes: Option<Box<ClassState>>,
+
     // Observability (never affects timing).
     sample_period_ns: u64,
     last_sample_ns: u64,
@@ -518,7 +538,7 @@ impl<'t> Simulator<'t> {
             return Err("trace addresses exceed the physical disk size".into());
         }
         let arrays = cfg.arrays_for(trace.n_disks);
-        let planner = Planner::new(cfg.organization, n, bpd);
+        let planner = Planner::new(cfg.organization, n, bpd)?;
         let dpa = planner.disks_per_array();
         let total_disks = (arrays * dpa) as usize;
 
@@ -749,6 +769,7 @@ impl<'t> Simulator<'t> {
             sched_seek_cyl: Welford::new(),
             sched_qdepth: [Welford::new(); 3],
             par: None,
+            classes: None,
             sample_period_ns,
             last_sample_ns: 0,
             prev_disk_busy: vec![0; total_disks],
@@ -766,11 +787,42 @@ impl<'t> Simulator<'t> {
         self.run_instrumented().0
     }
 
+    /// Tag every trace record with a request class (`of_record[i]` is the
+    /// class of record `i`, each `< n_classes`). The fleet layer uses one
+    /// class per tenant; [`Simulator::run_classed`] then returns one
+    /// [`ClassReport`] per class alongside the unchanged [`SimReport`].
+    /// Tagged runs execute serially (`run_par` falls back): class pushes
+    /// are not journaled, so a partitioned run would silently drop them.
+    pub fn set_classes(&mut self, of_record: Vec<u16>, n_classes: u16) -> Result<(), String> {
+        if of_record.len() != self.trace.records.len() {
+            return Err(format!(
+                "class tagging covers {} records but the trace has {}",
+                of_record.len(),
+                self.trace.records.len()
+            ));
+        }
+        if let Some(&c) = of_record.iter().find(|&&c| c >= n_classes) {
+            return Err(format!("record class {c} out of range (< {n_classes})"));
+        }
+        self.classes = Some(Box::new(ClassState {
+            of_record,
+            reports: (0..n_classes).map(|_| ClassReport::new()).collect(),
+        }));
+        Ok(())
+    }
+
     /// Run to completion, returning the report plus engine-level counters
     /// (events dispatched, future-event-list high-water mark). The counters
     /// describe the simulator, not the modeled array, so they live outside
     /// [`SimReport`] and cannot perturb its serialized form.
-    pub fn run_instrumented(mut self) -> (SimReport, RunStats) {
+    pub fn run_instrumented(self) -> (SimReport, RunStats) {
+        let (report, stats, _) = self.run_classed();
+        (report, stats)
+    }
+
+    /// [`Simulator::run_instrumented`] plus the per-class response reports
+    /// (empty unless [`Simulator::set_classes`] tagged the trace).
+    pub fn run_classed(mut self) -> (SimReport, RunStats, Vec<ClassReport>) {
         if self.cfg.cache.is_some() {
             for a in 0..self.arrays {
                 self.engine
@@ -846,7 +898,8 @@ impl<'t> Simulator<'t> {
             journal_bytes: 0,
             replay_amplification: 1.0,
         };
-        (self.report(), stats)
+        let classes = self.classes.take().map_or(Vec::new(), |c| c.reports);
+        (self.report(), stats, classes)
     }
 
     /// One step of the unified event loop: the next queue event or the next

@@ -200,6 +200,10 @@ impl<'t> Simulator<'t> {
             // The sampler and event log observe all arrays at global times.
             && self.sample_period_ns == 0
             && self.event_log.is_none()
+            // Class pushes are not journaled: a tagged run stays serial
+            // rather than silently dropping per-class statistics. (The
+            // fleet layer parallelizes across virtual arrays instead.)
+            && self.classes.is_none()
             && self.fault.as_ref().is_none_or(|f| {
                 // Transient errors can escalate to a failure through a
                 // *global* health gate; battery failover flushes every

@@ -13,10 +13,13 @@
 //!   parity disk inline (RAID4's dedicated parity disk only, Section 4.2).
 //!
 //! [`Planner`] is the concrete dispatcher: one variant per organization,
-//! chosen once at construction. This module (with `config.rs`, `report.rs`
-//! and `mapping/`) is the only simulator code allowed to name
-//! `Organization::` variants — simlint's `scheduler-seam` rule rejects a
-//! match anywhere else.
+//! chosen once at construction through [`PLANNER_REGISTRY`] — a constructor
+//! table keyed by the organization's stable label, so every caller (the
+//! single-array simulator and each fleet virtual array alike) instantiates
+//! planners uniformly and adding an organization means adding one registry
+//! row. This module holds no `Organization::` dispatch match at all;
+//! simlint's `scheduler-seam` rule now rejects one here exactly as it does
+//! everywhere outside `config.rs`, `report.rs`, and `mapping/`.
 
 use super::*;
 use crate::mapping::{DegradedRead, WritePlan};
@@ -158,16 +161,29 @@ macro_rules! each_planner {
     };
 }
 
+/// One planner constructor, taking the already-built address map.
+type PlannerCtor = fn(OrgMap) -> Planner;
+
+/// The constructor table: organization label → planner constructor. The
+/// label comes from `Organization::label()` (config's own description of
+/// the variant), so this file never matches on the enum itself — lookup is
+/// data-driven and uniform for every caller, including fleet virtual
+/// arrays that mix organizations within one run.
+pub(super) const PLANNER_REGISTRY: &[(&str, PlannerCtor)] = &[
+    ("Base", |map| Planner::Base(BasePlanner { map })),
+    ("Mirror", |map| Planner::Mirror(MirrorPlanner { map })),
+    ("RAID5", |map| Planner::Raid5(Raid5Planner { map })),
+    ("RAID4", |map| Planner::Raid4(Raid4Planner { map })),
+    ("ParStrip", |map| Planner::ParStrip(ParStripPlanner { map })),
+];
+
 impl Planner {
-    pub(super) fn new(org: Organization, n: u32, blocks_per_disk: u64) -> Planner {
-        let map = OrgMap::new(org, n, blocks_per_disk);
-        match org {
-            Organization::Base => Planner::Base(BasePlanner { map }),
-            Organization::Mirror => Planner::Mirror(MirrorPlanner { map }),
-            Organization::Raid5 { .. } => Planner::Raid5(Raid5Planner { map }),
-            Organization::Raid4 { .. } => Planner::Raid4(Raid4Planner { map }),
-            Organization::ParityStriping { .. } => Planner::ParStrip(ParStripPlanner { map }),
-        }
+    pub(super) fn new(org: Organization, n: u32, blocks_per_disk: u64) -> Result<Planner, String> {
+        let label = org.label();
+        let Some((_, ctor)) = PLANNER_REGISTRY.iter().find(|(l, _)| *l == label) else {
+            return Err(format!("no planner registered for organization {label}"));
+        };
+        Ok(ctor(OrgMap::new(org, n, blocks_per_disk)))
     }
 }
 
@@ -451,5 +467,45 @@ impl<'t> Simulator<'t> {
             attempts: 0,
             marks: OpMarks::default(),
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ParityPlacement;
+
+    /// Every organization resolves to a registered constructor, and the
+    /// constructed variant matches the label it was looked up by.
+    #[test]
+    fn registry_covers_every_organization() {
+        let orgs = [
+            Organization::Base,
+            Organization::Mirror,
+            Organization::Raid5 { striping_unit: 1 },
+            Organization::Raid4 { striping_unit: 1 },
+            Organization::ParityStriping {
+                placement: ParityPlacement::Middle,
+            },
+        ];
+        assert_eq!(PLANNER_REGISTRY.len(), orgs.len());
+        for org in orgs {
+            let p = Planner::new(org, 2, 1000).unwrap();
+            let constructed = match p {
+                Planner::Base(_) => "Base",
+                Planner::Mirror(_) => "Mirror",
+                Planner::Raid5(_) => "RAID5",
+                Planner::Raid4(_) => "RAID4",
+                Planner::ParStrip(_) => "ParStrip",
+            };
+            assert_eq!(constructed, org.label());
+        }
+    }
+
+    /// Registry rows carry the labels config publishes, in a stable order.
+    #[test]
+    fn registry_keys_match_config_labels() {
+        let keys: Vec<&str> = PLANNER_REGISTRY.iter().map(|(l, _)| *l).collect();
+        assert_eq!(keys, ["Base", "Mirror", "RAID5", "RAID4", "ParStrip"]);
     }
 }

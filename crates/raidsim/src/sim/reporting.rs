@@ -77,6 +77,12 @@ impl<'t> Simulator<'t> {
         self.resp_all.push(ms);
         self.hist.record(ms);
         self.completed += 1;
+        if let Some(cs) = self.classes.as_mut() {
+            let c = &mut cs.reports[r.class as usize];
+            c.completed += 1;
+            c.response_ms.push(ms);
+            c.histogram_ms.record(ms);
+        }
         if let Some(f) = self.fault.as_mut() {
             match r.window {
                 0 => f.resp_healthy.push(ms),

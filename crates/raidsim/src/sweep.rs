@@ -66,10 +66,13 @@ pub fn run_all(runs: &[NamedRun<'_>], threads: usize) -> Vec<(String, Result<Sim
     let workers = threads.min(runs.len()).max(1);
     let cursor = AtomicUsize::new(0);
 
-    // Warm-start fix: disk models are a pure function of (seed, geometry,
-    // seek, index), yet every point used to recalibrate its own copies.
-    // Build one pool sized for the largest grid point and share it across
-    // the sweep; points whose parameters differ from the pool's fall back
+    // Warm-start pools, keyed by *disk class*: disk models are a pure
+    // function of (seed, geometry, seek, index), so every grid point
+    // agreeing on those three shares one pool sized for the class's
+    // largest point. Earlier the sweep built a single pool from the
+    // overall-largest point, so a grid mixing seeds or drive models
+    // warm-started only one class and cold-constructed the rest; now each
+    // class gets its own pool and only genuinely unique points fall back
     // to cold construction inside `try_new_warm` (byte-identical either
     // way). Invalid points (size 0 here) surface their error at `try_new`.
     let pool_size = |r: &NamedRun<'_>| {
@@ -79,10 +82,16 @@ pub fn run_all(runs: &[NamedRun<'_>], threads: usize) -> Vec<(String, Result<Sim
             r.config.total_disks(r.trace.n_disks)
         }
     };
-    let warm = runs
-        .iter()
-        .max_by_key(|r| pool_size(r))
-        .map(|r| WarmDisks::new(&r.config, pool_size(r)));
+    let mut pools: Vec<(u32, WarmDisks)> = Vec::new();
+    for r in runs {
+        let size = pool_size(r);
+        match pools.iter_mut().find(|(_, w)| w.matches(&r.config)) {
+            Some(p) if p.0 >= size => {}
+            Some(p) => *p = (size, WarmDisks::new(&r.config, size)),
+            None => pools.push((size, WarmDisks::new(&r.config, size))),
+        }
+    }
+    let warm_for = |cfg: &SimConfig| pools.iter().map(|(_, w)| w).find(|w| w.matches(cfg));
 
     // Workers return locally collected (index, result) pairs; a worker
     // panic propagates at scope join. Indexed collection keeps the merge
@@ -100,7 +109,7 @@ pub fn run_all(runs: &[NamedRun<'_>], threads: usize) -> Vec<(String, Result<Sim
                         // Contain a panicking point to its own result slot;
                         // the worker lives on to claim the remaining points.
                         let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            match warm.as_ref() {
+                            match warm_for(&run.config) {
                                 Some(w) => {
                                     Simulator::try_new_warm(run.config.clone(), run.trace, w)
                                 }
@@ -233,6 +242,38 @@ mod tests {
                 mk(Organization::Raid5 { striping_unit: 1 }, 11),
                 &trace,
             ),
+        ];
+        let cold: Vec<String> = runs
+            .iter()
+            .map(|r| format!("{:#?}", Simulator::new(r.config.clone(), r.trace).run()))
+            .collect();
+        let out = run_all(&runs, 2);
+        for (i, (label, report)) in out.iter().enumerate() {
+            assert_eq!(
+                format!("{:#?}", report.as_ref().unwrap()),
+                cold[i],
+                "{label} diverged from its cold run"
+            );
+        }
+    }
+
+    /// Per-disk-class pools (seed × geometry × seek): a grid mixing seeds
+    /// *and* drive models warm-starts every class from its own pool, and
+    /// every point still comes back byte-identical to its cold serial run.
+    #[test]
+    fn per_class_pools_cover_mixed_geometry_grids() {
+        let trace = SynthSpec::trace2().scaled(0.005).generate();
+        let mk = |seed: u64, rpm: u32| {
+            let mut cfg = SimConfig::with_organization(Organization::Base);
+            cfg.seed = seed;
+            cfg.geometry.rpm = rpm;
+            cfg
+        };
+        let runs = vec![
+            NamedRun::new("s7-5400", mk(7, 5400), &trace),
+            NamedRun::new("s7-7200", mk(7, 7200), &trace),
+            NamedRun::new("s11-5400", mk(11, 5400), &trace),
+            NamedRun::new("s7-5400-b", mk(7, 5400), &trace),
         ];
         let cold: Vec<String> = runs
             .iter()

@@ -1,0 +1,5 @@
+use std::rc::Rc;
+
+pub struct FleetTotals {
+    pub shared: Rc<u64>,
+}

@@ -1,0 +1,3 @@
+pub struct FleetTotals {
+    pub events: u64,
+}

@@ -1,0 +1,7 @@
+// The runner is the sanctioned home for cross-VA machinery: both the
+// fleet-boundary and par-safety rules carve out fleet/run.rs.
+use std::sync::atomic::AtomicUsize;
+
+pub fn cursor() -> AtomicUsize {
+    AtomicUsize::new(0)
+}

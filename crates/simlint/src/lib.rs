@@ -4,8 +4,8 @@
 //! because the trace-driven simulation is exactly reproducible: the same
 //! trace and seed must yield the same figures. The Rust compiler cannot
 //! enforce that, so this tool does. It walks every `.rs` file in the
-//! sim-core crates and checks ten domain invariants (plus two meta-rules
-//! about the escape hatch itself):
+//! sim-core crates and checks eleven domain invariants (plus two
+//! meta-rules about the escape hatch itself):
 //!
 //! 1. **`hash-collection`** — no `std::collections::HashMap`/`HashSet`:
 //!    their iteration order is randomized per process, so any result that
@@ -60,6 +60,11 @@
 //!     dispatch → faults → reporting flow; a backward call is layer
 //!     erosion and is flagged at the call site (real feedback edges are
 //!     waived, with reasons, in the committed baseline).
+//! 11. **`fleet-boundary`** — virtual arrays exchange state only through
+//!     returned outcomes merged in VA index order, so fleet-interior
+//!     files (`raidsim/src/fleet/` except `run.rs`) must stay plain
+//!     owned data: shared-ownership and interior-mutability types
+//!     (`Rc`, `Arc`, `RefCell`, `Cell`, `UnsafeCell`) are flagged there.
 //!
 //! A site can opt out with a justified annotation on the same line or the
 //! line directly above:
@@ -104,7 +109,7 @@ pub use workspace::{analyze_workspace, WsConfig};
 // Rules
 // ---------------------------------------------------------------------------
 
-/// The ten determinism/architecture invariants, plus the two meta-rules
+/// The eleven determinism/architecture invariants, plus the two meta-rules
 /// about the escape-hatch annotations themselves.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
@@ -118,11 +123,12 @@ pub enum Rule {
     UnitSafety,
     JournalEffect,
     LayerBoundary,
+    FleetBoundary,
     MalformedAllow,
     UnusedAllow,
 }
 
-pub const RULES: [Rule; 12] = [
+pub const RULES: [Rule; 13] = [
     Rule::HashCollection,
     Rule::AmbientNondet,
     Rule::RawTimeCast,
@@ -133,6 +139,7 @@ pub const RULES: [Rule; 12] = [
     Rule::UnitSafety,
     Rule::JournalEffect,
     Rule::LayerBoundary,
+    Rule::FleetBoundary,
     Rule::MalformedAllow,
     Rule::UnusedAllow,
 ];
@@ -150,6 +157,7 @@ impl Rule {
             Rule::UnitSafety => "unit-safety",
             Rule::JournalEffect => "journal-effect",
             Rule::LayerBoundary => "layer-boundary",
+            Rule::FleetBoundary => "fleet-boundary",
             Rule::MalformedAllow => "malformed-allow",
             Rule::UnusedAllow => "unused-allow",
         }
@@ -187,7 +195,8 @@ impl Rule {
             Rule::SchedulerSeam => {
                 "dispatch through the layer traits: implement DiskScheduler in \
                  crates/diskmodel, and match Organization:: only in raidsim's config, \
-                 report, mapping, or sim/planning modules (add an OrgPlanner method instead)"
+                 report, or mapping modules (planner construction goes through the \
+                 label-keyed PLANNER_REGISTRY; add an OrgPlanner method instead)"
             }
             Rule::ParSafety => {
                 "group partitions must not share mutable state: synchronization primitives \
@@ -212,6 +221,13 @@ impl Rule {
                  dispatch → faults → reporting in simlint.toml [layer-boundary]); route it \
                  through the downstream layer's interface, or waive the accepted feedback \
                  edge in simlint.baseline.toml with a reason"
+            }
+            Rule::FleetBoundary => {
+                "virtual arrays exchange state only through returned outcomes merged in \
+                 VA index order; shared-ownership and interior-mutability types \
+                 (Rc/Arc/RefCell/Cell/UnsafeCell) in the fleet layer outside fleet/run.rs \
+                 would let cross-VA state bypass that merge and break the byte-identical \
+                 serial/parallel guarantee"
             }
             Rule::MalformedAllow => {
                 "write `// simlint::allow(<rule>): <reason>` — the rule must exist and the \
@@ -497,14 +513,21 @@ fn is_fault_stream_boundary(path: &str) -> bool {
 }
 
 /// May this file dispatch on `Organization::` variants? The planner seam
-/// confines organization knowledge to configuration, report labeling, the
-/// block-address maps, and the planning layer that wraps them.
+/// confines organization knowledge to configuration, report labeling, and
+/// the block-address maps. The planning layer itself is no longer exempt:
+/// since planner construction moved behind the label-keyed constructor
+/// registry, `sim/planning.rs` holds no dispatch match, and a regression
+/// that reintroduces one is flagged like any other file.
 fn is_org_boundary(path: &str) -> bool {
     let norm = path.replace('\\', "/");
     norm.ends_with("raidsim/src/config.rs")
         || norm.ends_with("raidsim/src/report.rs")
         || norm.contains("raidsim/src/mapping")
-        || norm.ends_with("raidsim/src/sim/planning.rs")
+        // Fleet configuration constructs Organization values the same way
+        // SimConfig does: the built-in fleets (config.rs) and the spec
+        // parser (spec.rs) are configuration, not dispatch.
+        || norm.ends_with("raidsim/src/fleet/config.rs")
+        || norm.ends_with("raidsim/src/fleet/spec.rs")
 }
 
 /// Is this file inside `diskmodel`, the only crate that may implement
@@ -515,13 +538,25 @@ fn is_scheduler_boundary(path: &str) -> bool {
 
 /// May this file own cross-thread shared state? The partition/merge layer
 /// (`raidsim::sim::par`, a module directory since the streaming-merge
-/// split) and the sweep work-stealing pool are the only sanctioned homes
-/// of synchronization primitives in sim-core.
+/// split), the sweep work-stealing pool, and the fleet runner (which
+/// work-steals whole virtual arrays) are the only sanctioned homes of
+/// synchronization primitives in sim-core.
 fn is_par_boundary(path: &str) -> bool {
     let norm = path.replace('\\', "/");
     norm.ends_with("raidsim/src/sim/par.rs")
         || norm.contains("raidsim/src/sim/par/")
         || norm.ends_with("raidsim/src/sweep.rs")
+        || norm.ends_with("raidsim/src/fleet/run.rs")
+}
+
+/// Is this a fleet-layer file *other than* the runner? `fleet/run.rs` is the
+/// one place allowed to hold cross-VA machinery (it is also a par boundary);
+/// the rest of the fleet layer — config, alloc, report, spec — must stay
+/// plain owned data, so shared-ownership and interior-mutability types are
+/// flagged there ([`Rule::FleetBoundary`]).
+fn is_fleet_interior(path: &str) -> bool {
+    let norm = path.replace('\\', "/");
+    norm.contains("raidsim/src/fleet/") && !norm.ends_with("raidsim/src/fleet/run.rs")
 }
 
 // ---------------------------------------------------------------------------
@@ -736,6 +771,9 @@ pub(crate) fn per_file_matches(unit: &FileUnit, ws: &WsConfig) -> Vec<RawMatch> 
             }
             Some("Mutex" | "RwLock" | "Condvar" | "mpsc") if !is_par_boundary(path) => {
                 add(Rule::ParSafety, toks[i].line, toks[i].col);
+            }
+            Some("Rc" | "Arc" | "RefCell" | "Cell" | "UnsafeCell") if is_fleet_interior(path) => {
+                add(Rule::FleetBoundary, toks[i].line, toks[i].col);
             }
             Some(id) if !is_par_boundary(path) && id.starts_with("Atomic") => {
                 add(Rule::ParSafety, toks[i].line, toks[i].col);
@@ -1158,13 +1196,20 @@ mod tests {
             "crates/raidsim/src/report.rs",
             "crates/raidsim/src/mapping/mod.rs",
             "crates/raidsim/src/mapping/degraded.rs",
-            "crates/raidsim/src/sim/planning.rs",
         ] {
             assert!(
                 analyze_source(path, src, &Config::default()).is_empty(),
                 "{path} should be allowed to dispatch on Organization::"
             );
         }
+        // The planning layer lost its exemption when construction moved
+        // behind the label-keyed registry: a reintroduced match is flagged.
+        let d = analyze_source(
+            "crates/raidsim/src/sim/planning.rs",
+            src,
+            &Config::default(),
+        );
+        assert_eq!(rules_of(&d), vec![Rule::SchedulerSeam]);
         // Naming the type (not a variant) is fine anywhere.
         let d = analyze_source(
             "crates/raidsim/src/sim/mod.rs",

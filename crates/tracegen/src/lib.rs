@@ -32,6 +32,7 @@
 pub mod characterize;
 pub mod fmt;
 pub mod record;
+pub mod router;
 pub mod sampler;
 pub mod split;
 pub mod synth;
@@ -39,5 +40,6 @@ pub mod transform;
 
 pub use characterize::TraceStats;
 pub use record::{AccessType, Trace, TraceRecord};
+pub use router::{route, RoutedTrace, TenantStream};
 pub use split::ArrivalSplit;
 pub use synth::{RerefDist, SynthSpec};

@@ -334,3 +334,32 @@ fn lifecycle_fault_matrix_parallel_matches_serial() {
         }
     }
 }
+
+/// The fleet layer extends the guarantee one level up: work-stealing whole
+/// virtual arrays must reproduce the serial fleet bytes. The built-in demo
+/// fleet is the acceptance scenario — 16 VAs cycling all five
+/// organizations over two disk classes, six tenants, and a mid-run disk
+/// failure on va00 — so this pins byte-identity for the full heterogeneous
+/// matrix at 2, 3, and 8 VA-level threads, RunStats included (replay
+/// amplification is exactly 1.0 by construction: every routed arrival
+/// lands in exactly one VA).
+#[test]
+fn fleet_parallel_matches_serial_bytes_at_every_thread_count() {
+    let fleet = raidsim::FleetConfig::demo();
+    let (serial_report, serial_stats) =
+        raidsim::run_fleet(&fleet, 1).expect("the demo fleet runs serially");
+    assert_eq!(
+        serial_stats.replay_amplification, 1.0,
+        "fleet routing must not replay any arrival"
+    );
+    let serial = format!("{serial_report:#?}\n{serial_stats:#?}");
+    for threads in [2, 3, 8] {
+        let (report, stats) =
+            raidsim::run_fleet(&fleet, threads).expect("the demo fleet runs in parallel");
+        let par = format!("{report:#?}\n{stats:#?}");
+        assert_eq!(
+            par, serial,
+            "fleet run at {threads} threads diverged from serial"
+        );
+    }
+}
